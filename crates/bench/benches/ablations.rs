@@ -1,0 +1,89 @@
+//! Criterion group `ablations` (exhibit AB-1 and T4-4e): the design
+//! choices DESIGN.md calls out, each measured against its alternative —
+//! wormhole vs store-and-forward switching, van de Geijn vs binomial
+//! broadcast shape, FCFS vs backfill scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_mesh::sched::{consortium_workload, run as sched_run, Policy};
+use delta_mesh::{presets, Comm, Machine};
+use hpcc_kernels::sim::lu2d;
+use std::hint::black_box;
+
+fn bench_switching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations/switching");
+    for (label, cfg) in [
+        ("wormhole", presets::delta(8, 8)),
+        ("store_fwd", presets::delta_store_and_forward(8, 8)),
+    ] {
+        let machine = Machine::new(cfg);
+        g.bench_with_input(BenchmarkId::new("lu_n2000", label), &label, |bn, _| {
+            bn.iter(|| black_box(lu2d::run(&machine, 2_000, 32).gflops))
+        });
+        g.bench_with_input(BenchmarkId::new("bcast_1mb", label), &label, |bn, _| {
+            bn.iter(|| {
+                let (_, r) = machine.run(|node| async move {
+                    let comm = Comm::world(&node);
+                    comm.bcast_virtual(0, 1 << 20).await;
+                });
+                black_box(r.elapsed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_broadcast_shape(c: &mut Criterion) {
+    // Below vs above the long-message threshold: same total volume.
+    let machine = Machine::new(presets::delta(8, 8));
+    let mut g = c.benchmark_group("ablations/bcast_shape");
+    g.bench_function("tree_32x32KB", |bn| {
+        bn.iter(|| {
+            let (_, r) = machine.run(|node| async move {
+                let comm = Comm::world(&node);
+                for _ in 0..32 {
+                    comm.bcast_virtual(0, 32 * 1024 - 1).await;
+                }
+            });
+            black_box(r.elapsed)
+        })
+    });
+    g.bench_function("vdg_1x1MB", |bn| {
+        bn.iter(|| {
+            let (_, r) = machine.run(|node| async move {
+                let comm = Comm::world(&node);
+                comm.bcast_virtual(0, 32 * (32 * 1024 - 1)).await;
+            });
+            black_box(r.elapsed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let jobs = consortium_workload(150, 14, 120.0, 3);
+    let mut g = c.benchmark_group("ablations/scheduler");
+    for policy in [Policy::Fcfs, Policy::Backfill] {
+        g.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |bn, &policy| {
+                bn.iter(|| {
+                    let r = sched_run(16, 33, jobs.clone(), policy);
+                    black_box((r.utilization, r.makespan))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_switching,
+    bench_broadcast_shape,
+    bench_scheduler
+);
+criterion_main!(ablations);

@@ -1,0 +1,195 @@
+//! Criterion benches for the host-side Grand Challenge kernels (exhibit
+//! GC-1): each kernel sequential vs Rayon, the figure the ASTA component
+//! motivates. One group per kernel family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use des::rng::Rng;
+use hpcc_kernels::{cfd, cg, fft, lu, mat::Mat, matmul, nbody, shallow};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/matmul");
+    for n in [64usize, 128, 256] {
+        let mut rng = Rng::new(1);
+        let a = Mat::random(n, n, &mut rng);
+        let b = Mat::random(n, n, &mut rng);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bn, _| {
+            bn.iter(|| black_box(matmul::matmul_naive(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("blocked48", n), &n, |bn, _| {
+            bn.iter(|| black_box(matmul::matmul_blocked(&a, &b, 48)))
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", n), &n, |bn, _| {
+            bn.iter(|| black_box(matmul::matmul_par(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/lu");
+    for n in [128usize, 256] {
+        let mut rng = Rng::new(2);
+        let a = Mat::random(n, n, &mut rng);
+        g.throughput(Throughput::Elements(lu::linpack_flops(n) as u64));
+        g.bench_with_input(BenchmarkId::new("seq_nb16", n), &n, |bn, _| {
+            bn.iter(|| {
+                let mut f = a.clone();
+                black_box(lu::lu_factor(&mut f, 16).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rayon_nb16", n), &n, |bn, _| {
+            bn.iter(|| {
+                let mut f = a.clone();
+                black_box(lu::lu_factor_par(&mut f, 16).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/cfd");
+    for n in [128usize, 256] {
+        let rhs = cfd::Grid::new(n);
+        g.bench_with_input(BenchmarkId::new("jacobi50_seq", n), &n, |bn, _| {
+            bn.iter(|| {
+                let mut u = cfd::Grid::new(n);
+                u.set_boundary(|x, y| x + y);
+                black_box(cfd::jacobi(&mut u, &rhs, 0.0, 50, false))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("jacobi50_rayon", n), &n, |bn, _| {
+            bn.iter(|| {
+                let mut u = cfd::Grid::new(n);
+                u.set_boundary(|x, y| x + y);
+                black_box(cfd::jacobi(&mut u, &rhs, 0.0, 50, true))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sor50", n), &n, |bn, _| {
+            bn.iter(|| {
+                let mut u = cfd::Grid::new(n);
+                u.set_boundary(|x, y| x + y);
+                black_box(cfd::sor(&mut u, &rhs, None, 0.0, 50))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_shallow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/shallow");
+    for m in [64usize, 192] {
+        g.throughput(Throughput::Elements(
+            (10.0 * shallow::step_flops(m)) as u64,
+        ));
+        g.bench_with_input(BenchmarkId::new("steps10_seq", m), &m, |bn, _| {
+            bn.iter(|| {
+                let mut sw = shallow::Shallow::new(m);
+                sw.run(10, false);
+                black_box(sw.total_mass())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("steps10_rayon", m), &m, |bn, _| {
+            bn.iter(|| {
+                let mut sw = shallow::Shallow::new(m);
+                sw.run(10, true);
+                black_box(sw.total_mass())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_nbody(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/nbody");
+    for n in [500usize, 2000] {
+        let bodies = nbody::random_cluster(n, 3);
+        g.throughput(Throughput::Elements(nbody::direct_flops(n) as u64));
+        g.bench_with_input(BenchmarkId::new("direct_seq", n), &n, |bn, _| {
+            bn.iter(|| black_box(nbody::accel_direct(&bodies, 0.05)))
+        });
+        g.bench_with_input(BenchmarkId::new("direct_rayon", n), &n, |bn, _| {
+            bn.iter(|| black_box(nbody::accel_direct_par(&bodies, 0.05)))
+        });
+        g.bench_with_input(BenchmarkId::new("barnes_hut", n), &n, |bn, _| {
+            bn.iter(|| black_box(nbody::accel_barnes_hut(&bodies, 0.5, 0.05)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/fft");
+    for logn in [12usize, 16] {
+        let n = 1 << logn;
+        let orig: Vec<fft::Cpx> = (0..n)
+            .map(|i| fft::Cpx::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        g.throughput(Throughput::Elements(fft::fft_flops(n) as u64));
+        g.bench_with_input(BenchmarkId::new("fft1d", n), &n, |bn, _| {
+            bn.iter(|| {
+                let mut d = orig.clone();
+                fft::fft(&mut d);
+                black_box(d)
+            })
+        });
+    }
+    // 2-D: rows sequential vs Rayon.
+    let n = 256;
+    let orig: Vec<fft::Cpx> = (0..n * n)
+        .map(|i| fft::Cpx::new((i % 7) as f64, 0.0))
+        .collect();
+    g.bench_function("fft2d_256_seq", |bn| {
+        bn.iter(|| {
+            let mut d = orig.clone();
+            fft::fft2d(&mut d, n, false);
+            black_box(d)
+        })
+    });
+    g.bench_function("fft2d_256_rayon", |bn| {
+        bn.iter(|| {
+            let mut d = orig.clone();
+            fft::fft2d(&mut d, n, true);
+            black_box(d)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/cg");
+    for gsz in [48usize, 96] {
+        let a = cg::Csr::poisson2d(gsz);
+        let b = vec![1.0; a.n()];
+        g.bench_with_input(BenchmarkId::new("cg_seq", gsz), &gsz, |bn, _| {
+            bn.iter(|| {
+                let mut x = vec![0.0; a.n()];
+                black_box(cg::cg(&a, &b, &mut x, 1e-8, 10_000, false))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cg_rayon", gsz), &gsz, |bn, _| {
+            bn.iter(|| {
+                let mut x = vec![0.0; a.n()];
+                black_box(cg::cg(&a, &b, &mut x, 1e-8, 10_000, true))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_matmul,
+    bench_lu,
+    bench_stencil,
+    bench_shallow,
+    bench_nbody,
+    bench_fft,
+    bench_cg
+);
+criterion_main!(kernels);

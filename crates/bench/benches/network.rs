@@ -1,0 +1,112 @@
+//! Criterion benches for the `netsim` exhibit family (T4-5a/b/c): the
+//! consortium staging workload, backbone load sweeps, and the max-min
+//! fair-share solver itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::rng::Rng;
+use des::time::SimTime;
+use nren_netsim::{maxmin_rates, topologies, workload, FlowSim, LinkClass, TransferSpec};
+use std::hint::black_box;
+
+fn bench_consortium_staging(c: &mut Criterion) {
+    let net = topologies::delta_consortium();
+    let delta = net.site(topologies::DELTA_SITE).unwrap();
+    let partners = topologies::partner_sites(&net);
+    let mut g = c.benchmark_group("netsim/consortium");
+    for mb in [10u64, 100] {
+        g.bench_with_input(BenchmarkId::new("stage_all", mb), &mb, |bn, &mb| {
+            bn.iter(|| {
+                let (staging, _) =
+                    workload::stage_and_retrieve(&partners, delta, mb << 20, 0);
+                let sim = FlowSim::new(&net);
+                let recs = sim.run(staging);
+                black_box(recs.iter().map(|r| r.finished).max())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_backbone_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/backbone");
+    for (label, class) in [("t1", LinkClass::T1), ("t3", LinkClass::T3)] {
+        let net = topologies::nsfnet(class);
+        g.bench_with_input(
+            BenchmarkId::new("poisson_300flows", label),
+            &label,
+            |bn, _| {
+                bn.iter(|| {
+                    let mut rng = Rng::new(42);
+                    let specs =
+                        workload::poisson_traffic(&net, &mut rng, 3.0, 2e6, 100.0);
+                    let sim = FlowSim::new(&net);
+                    black_box(sim.run(specs).len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_maxmin_solver(c: &mut Criterion) {
+    // The allocator is the inner loop of every network event; measure it
+    // directly at increasing flow counts on the T3 backbone.
+    let net = topologies::nsfnet(LinkClass::T3);
+    let mut rng = Rng::new(7);
+    let mut g = c.benchmark_group("netsim/maxmin");
+    for nflows in [16usize, 64, 256] {
+        // Pre-compute routes for random pairs.
+        let routes: Vec<Vec<usize>> = (0..nflows)
+            .map(|_| {
+                let a = rng.below(net.sites() as u64) as usize;
+                let mut b = rng.below(net.sites() as u64) as usize;
+                while b == a {
+                    b = rng.below(net.sites() as u64) as usize;
+                }
+                net.route(a, b).unwrap().dirs
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("flows", nflows), &nflows, |bn, _| {
+            bn.iter(|| {
+                let flows: Vec<(&[usize], f64)> = routes
+                    .iter()
+                    .map(|r| (r.as_slice(), f64::INFINITY))
+                    .collect();
+                black_box(maxmin_rates(&net, &flows))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_window_ablation(c: &mut Criterion) {
+    // The CASA TCP-window story as a bench: simulate the same 1 GB flow
+    // at different window sizes.
+    let net = topologies::casa_testbed();
+    let cal = net.site(topologies::DELTA_SITE).unwrap();
+    let lanl = net.site("Los Alamos").unwrap();
+    let mut g = c.benchmark_group("netsim/casa_window");
+    for w in [64u64 << 10, 1 << 20, 8 << 20] {
+        g.bench_with_input(BenchmarkId::new("window", w >> 10), &w, |bn, &w| {
+            bn.iter(|| {
+                let sim = FlowSim::new(&net);
+                let recs = sim.run(vec![TransferSpec::new(cal, lanl, 1 << 30, SimTime::ZERO)
+                    .with_window(w)]);
+                black_box(recs[0].duration())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = network;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_consortium_staging,
+    bench_backbone_load,
+    bench_maxmin_solver,
+    bench_window_ablation
+);
+criterion_main!(network);

@@ -1,0 +1,56 @@
+//! Criterion bench `program_model` (exhibits T4-2, T4-3a): regenerating
+//! the program tables must be instantaneous and allocation-light — these
+//! run inside every `report` invocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcc_core::{Agency, Component, FiscalYear, FundingTable};
+use std::hint::black_box;
+
+fn bench_program_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("program_model");
+    g.bench_function("funding_table_build_and_totals", |bn| {
+        bn.iter(|| {
+            let t = FundingTable::fy1992_93();
+            let a = t.total(FiscalYear::Fy1992);
+            let b = t.total(FiscalYear::Fy1993);
+            black_box((a, b, t.total_growth_pct()))
+        })
+    });
+    g.bench_function("component_split", |bn| {
+        let t = FundingTable::fy1992_93();
+        bn.iter(|| {
+            black_box(t.component_split(FiscalYear::Fy1993));
+        })
+    });
+    g.bench_function("responsibilities_full_scan", |bn| {
+        bn.iter(|| {
+            let mut count = 0usize;
+            for a in Agency::ALL {
+                for comp in Component::ALL {
+                    count += hpcc_core::responsibilities::activities(a, comp).len();
+                }
+            }
+            black_box(count)
+        })
+    });
+    g.bench_function("exhibit_registry_walk", |bn| {
+        bn.iter(|| {
+            black_box(
+                hpcc_core::registry()
+                    .iter()
+                    .filter(|e| e.bench.is_some())
+                    .count(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = program;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_program_model
+);
+criterion_main!(program);

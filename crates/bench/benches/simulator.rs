@@ -1,0 +1,120 @@
+//! Criterion benches for the simulated-machine exhibits:
+//! `sim_linpack` (T4-4b, F-T4-4c), `sim_machines` (T4-4a, F-T4-4d),
+//! and the ASTA simulated applications (stencil, FFT). The quantities
+//! Criterion measures here are *host* costs of running the simulator;
+//! the virtual-time results themselves are printed by the `report`
+//! binary and checked by integration tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_mesh::{presets, Comm, Machine};
+use hpcc_kernels::sim::{fftsim, lu1d, lu2d, stencil};
+use std::hint::black_box;
+
+fn bench_sim_linpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_linpack");
+    // Timing model at growing machine sizes (fixed local problem).
+    for (r, cnum, n) in [(4usize, 4usize, 2_000usize), (8, 8, 4_000), (8, 16, 5_600)] {
+        let machine = Machine::new(presets::delta(r, cnum));
+        let nodes = machine.config().nodes();
+        g.bench_with_input(
+            BenchmarkId::new("lu2d_model", format!("{nodes}n_{n}")),
+            &n,
+            |bn, &n| bn.iter(|| black_box(lu2d::run(&machine, n, 32).gflops)),
+        );
+    }
+    // Verified real-arithmetic distributed LU (small).
+    let machine = Machine::new(presets::delta(2, 2));
+    g.bench_function("lu1d_verified_n48", |bn| {
+        bn.iter(|| {
+            let r = lu1d::run(&machine, 48, 4, 7);
+            assert!(r.residual < 16.0);
+            black_box(r.gflops)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim_machines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_machines");
+    // The Touchstone series at one problem size, 64 nodes each.
+    let n = 4_000;
+    for (name, machine) in [
+        ("ipsc860_64", Machine::new(presets::ipsc860(6))),
+        ("delta_64", Machine::new(presets::delta(8, 8))),
+        ("paragon_64", Machine::new(presets::paragon(8, 8))),
+        ("ideal_64", Machine::new(presets::ideal(64))),
+    ] {
+        g.bench_function(name, |bn| {
+            bn.iter(|| black_box(lu2d::run(&machine, n, 32).gflops))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_apps");
+    let machine = Machine::new(presets::delta(4, 8));
+    g.bench_function("stencil_model_512_10it", |bn| {
+        bn.iter(|| black_box(stencil::run_model(&machine, 512, 10).gflops))
+    });
+    g.bench_function("stencil_verified_24_20it", |bn| {
+        let m = Machine::new(presets::delta(2, 3));
+        bn.iter(|| {
+            let r = stencil::run_verified(&m, 24, 20);
+            assert_eq!(r.max_error, Some(0.0));
+            black_box(r.gflops)
+        })
+    });
+    g.bench_function("fft_transpose_2e18", |bn| {
+        bn.iter(|| black_box(fftsim::run(&machine, 1 << 18).gflops))
+    });
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    // Host cost of simulating the collective library at Delta scale —
+    // the simulator's own performance envelope.
+    let mut g = c.benchmark_group("sim_collectives");
+    for (label, rows, cols) in [("64n", 8usize, 8usize), ("528n", 16, 33)] {
+        let machine = Machine::new(presets::delta(rows, cols));
+        g.bench_with_input(
+            BenchmarkId::new("allreduce8B", label),
+            &label,
+            |bn, _| {
+                bn.iter(|| {
+                    let (_, r) = machine.run(|node| async move {
+                        let comm = Comm::world(&node);
+                        comm.allreduce_sum(&[node.rank() as f64]).await;
+                    });
+                    black_box(r.elapsed)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("bcast1MB", label),
+            &label,
+            |bn, _| {
+                bn.iter(|| {
+                    let (_, r) = machine.run(|node| async move {
+                        let comm = Comm::world(&node);
+                        comm.bcast_virtual(0, 1 << 20).await;
+                    });
+                    black_box(r.elapsed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = simulator;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sim_linpack,
+    bench_sim_machines,
+    bench_sim_apps,
+    bench_collectives
+);
+criterion_main!(simulator);

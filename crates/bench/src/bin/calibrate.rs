@@ -1,0 +1,17 @@
+//! Calibration helper: sweep LU panel widths on the 528-node Delta.
+use delta_mesh::{presets, Machine};
+use hpcc_kernels::sim::lu2d;
+
+fn main() {
+    let machine = Machine::new(presets::delta_528());
+    for nb in [32usize, 48, 64, 96, 128, 160, 200] {
+        let r = lu2d::run(&machine, 25_000, nb);
+        println!(
+            "nb={nb:4}  {:6.2} GFLOPS  eff {:4.1}%  t={:5.0}s  msgs={}",
+            r.gflops,
+            r.efficiency * 100.0,
+            r.seconds,
+            r.report.messages
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerate the paper's exhibits: `report <cmd>` or `report all`.
+//!
+//! Commands mirror `hpcc_core::exhibits` registry entries:
+//! goals, responsibilities, funding, components, delta-peak,
+//! delta-linpack, linpack-sweep, mpp-series, consortium-net,
+//! nren-upgrade, casa, cas, grand-challenges, fft-scaling, index.
+
+use hpcc_bench::exhibits as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("index");
+
+    let run = |name: &str| -> Option<String> {
+        Some(match name {
+            "goals" => ex::goals(),
+            "responsibilities" => ex::responsibilities(),
+            "funding" => ex::funding(),
+            "components" => ex::components(),
+            "delta-peak" => ex::delta_peak(),
+            "delta-linpack" => ex::delta_linpack(),
+            "linpack-sweep" => ex::linpack_sweep(),
+            "mpp-series" => ex::mpp_series(),
+            "consortium-net" => ex::consortium_net(),
+            "nren-upgrade" => ex::nren_upgrade(),
+            "casa" => ex::casa(),
+            "cas" => ex::cas(),
+            "grand-challenges" => ex::grand_challenges(),
+            "fft-scaling" => ex::fft_scaling(),
+            "scheduler" => ex::scheduler(),
+            "ablations" => ex::ablations(),
+            "kernel-profile" => ex::kernel_profile(),
+            "timeline" => ex::timeline(),
+            "index" => ex::index(),
+            _ => return None,
+        })
+    };
+
+    if cmd == "all" {
+        for name in [
+            "index",
+            "goals",
+            "responsibilities",
+            "funding",
+            "components",
+            "delta-peak",
+            "delta-linpack",
+            "linpack-sweep",
+            "mpp-series",
+            "consortium-net",
+            "nren-upgrade",
+            "casa",
+            "cas",
+            "grand-challenges",
+            "fft-scaling",
+            "scheduler",
+            "ablations",
+            "kernel-profile",
+            "timeline",
+        ] {
+            println!("=== {name} ===\n");
+            println!("{}", run(name).unwrap());
+        }
+    } else {
+        match run(cmd) {
+            Some(s) => println!("{s}"),
+            None => {
+                eprintln!(
+                    "unknown exhibit command '{cmd}'; try: all, index, goals, \
+                     responsibilities, funding, components, delta-peak, delta-linpack, \
+                     linpack-sweep, mpp-series, consortium-net, nren-upgrade, casa, cas, \
+                     grand-challenges, fft-scaling, \
+                     scheduler, ablations, kernel-profile, timeline"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

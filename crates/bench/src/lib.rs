@@ -1,0 +1,10 @@
+//! `hpcc-bench` — the evaluation harness: everything needed to regenerate
+//! the paper's tables and figures.
+//!
+//! * [`exhibits`] builds each exhibit's reproduction as a printable
+//!   report (used by the `report` binary, the integration tests, and
+//!   EXPERIMENTS.md).
+//! * `benches/` holds the Criterion groups named in the exhibit registry
+//!   (`hpcc_core::exhibits`).
+
+pub mod exhibits;

@@ -1,0 +1,125 @@
+//! Exhibits T4-4/5/6: the Concurrent Supercomputer Consortium (the Delta
+//! machine and its partners) and the Computational Aerosciences (CAS)
+//! consortium.
+
+/// Delta machine facts as the exhibit states them.
+pub mod delta_facts {
+    /// "PEAK SPEED OF 32 GFLOPS USING THE 528 NUMERIC PROCESSORS".
+    pub const NUMERIC_PROCESSORS: usize = 528;
+    /// Peak speed, GFLOPS.
+    pub const PEAK_GFLOPS: f64 = 32.0;
+    /// "13 GFLOPS SPEED OBTAINED ON A LINPAC BENCHMARK CODE".
+    pub const LINPACK_GFLOPS: f64 = 13.0;
+    /// "OF ORDER 25,000 BY 25,000".
+    pub const LINPACK_ORDER: usize = 25_000;
+    /// Where it lives.
+    pub const SITE: &str = "Caltech";
+}
+
+/// A consortium member organisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Member {
+    pub name: &'static str,
+    pub sector: Sector,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sector {
+    Government,
+    Industry,
+    Academia,
+}
+
+/// Concurrent Supercomputer Consortium partners ("over 14 government,
+/// industry and academia organizations" — the named ones from the figure
+/// plus the member laboratories it wires in).
+pub const CSC_MEMBERS: [Member; 14] = [
+    Member { name: "California Institute of Technology", sector: Sector::Academia },
+    Member { name: "Intel Corporation (Supercomputer Systems Division)", sector: Sector::Industry },
+    Member { name: "DARPA", sector: Sector::Government },
+    Member { name: "National Science Foundation", sector: Sector::Government },
+    Member { name: "NASA", sector: Sector::Government },
+    Member { name: "Jet Propulsion Laboratory", sector: Sector::Government },
+    Member { name: "Center for Research on Parallel Computation (Rice University, lead institution)", sector: Sector::Academia },
+    Member { name: "Argonne National Laboratory", sector: Sector::Government },
+    Member { name: "Los Alamos National Laboratory", sector: Sector::Government },
+    Member { name: "San Diego Supercomputer Center", sector: Sector::Academia },
+    Member { name: "Purdue University", sector: Sector::Academia },
+    Member { name: "UC Davis", sector: Sector::Academia },
+    Member { name: "Pacific Northwest Laboratory", sector: Sector::Government },
+    Member { name: "Department of Energy", sector: Sector::Government },
+];
+
+/// CAS consortium industry participants (exhibit T4-6, verbatim list,
+/// spelling normalised).
+pub const CAS_INDUSTRY: [&str; 12] = [
+    "Boeing",
+    "General Electric",
+    "Grumman",
+    "McDonnell Douglas",
+    "Northrop",
+    "Lockheed",
+    "United Technologies",
+    "TRW",
+    "Rockwell",
+    "General Motors",
+    "General Dynamics",
+    "Motorola",
+];
+
+/// CAS consortium academic participants.
+pub const CAS_ACADEMIA: [&str; 4] = [
+    "Syracuse University",
+    "Mississippi State University",
+    "USRA",
+    "University of California, Davis",
+];
+
+/// The CAS consortium's stated purposes (exhibit T4-5b).
+pub const CAS_PURPOSES: [&str; 5] = [
+    "Develop a mechanism to allow aerospace industry to influence the requirements, \
+     standards, and direction of NASA's Computational Aerosciences (CAS) project",
+    "Provide a mechanism to allow industry to intellectually participate in the \
+     development of selected generic CAS applications software and systems software base",
+    "Facilitate the transfer of CAS technology to aerospace users",
+    "Provide industry access to high performance computing resources",
+    "Provide a mechanism to allow industry to commercialize appropriate products",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_facts_are_the_exhibits() {
+        assert_eq!(delta_facts::NUMERIC_PROCESSORS, 528);
+        assert_eq!(delta_facts::PEAK_GFLOPS, 32.0);
+        assert_eq!(delta_facts::LINPACK_GFLOPS, 13.0);
+        assert_eq!(delta_facts::LINPACK_ORDER, 25_000);
+    }
+
+    #[test]
+    fn csc_has_over_14_members_across_sectors() {
+        assert!(CSC_MEMBERS.len() >= 14);
+        let gov = CSC_MEMBERS.iter().filter(|m| m.sector == Sector::Government).count();
+        let ind = CSC_MEMBERS.iter().filter(|m| m.sector == Sector::Industry).count();
+        let aca = CSC_MEMBERS.iter().filter(|m| m.sector == Sector::Academia).count();
+        assert!(gov > 0 && ind > 0 && aca > 0, "gov={gov} ind={ind} aca={aca}");
+    }
+
+    #[test]
+    fn cas_rosters_match_exhibit_counts() {
+        assert_eq!(CAS_INDUSTRY.len(), 12);
+        assert_eq!(CAS_ACADEMIA.len(), 4);
+        assert_eq!(CAS_PURPOSES.len(), 5);
+        assert!(CAS_INDUSTRY.contains(&"Boeing"));
+    }
+
+    #[test]
+    fn member_names_unique() {
+        let mut names: Vec<_> = CSC_MEMBERS.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CSC_MEMBERS.len());
+    }
+}

@@ -1,0 +1,259 @@
+//! The exhibit registry: every table and figure in the deck, what kind
+//! of content it carries, and which module/binary of this repository
+//! regenerates it. `hpcc-bench`'s `report` binary walks this registry.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of content the exhibit carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExhibitKind {
+    /// Numeric table.
+    Table,
+    /// Figure / chart / network diagram.
+    Figure,
+    /// Bulleted prose (goals, approach, rosters).
+    Narrative,
+}
+
+/// One exhibit of the deck.
+#[derive(Debug, Clone, Serialize)]
+pub struct Exhibit {
+    /// Our identifier (page-based, e.g. "T4-3a").
+    pub id: &'static str,
+    pub title: &'static str,
+    pub kind: ExhibitKind,
+    /// `report` subcommand that regenerates it.
+    pub report_cmd: &'static str,
+    /// Modules implementing the pieces.
+    pub modules: &'static [&'static str],
+    /// Criterion bench group covering it, if any.
+    pub bench: Option<&'static str>,
+}
+
+/// Every exhibit in the deck, in page order, plus the derived series
+/// ("F-" ids) the evaluation harness sweeps.
+pub fn registry() -> &'static [Exhibit] {
+    &[
+        Exhibit {
+            id: "T4-1a",
+            title: "Federal program goal and objectives",
+            kind: ExhibitKind::Narrative,
+            report_cmd: "goals",
+            modules: &["hpcc_core::program::GOALS"],
+            bench: None,
+        },
+        Exhibit {
+            id: "T4-1b",
+            title: "Presidential commitment (P.L. 102-194)",
+            kind: ExhibitKind::Narrative,
+            report_cmd: "goals",
+            modules: &["hpcc_core::program::AUTHORITY"],
+            bench: None,
+        },
+        Exhibit {
+            id: "T4-2",
+            title: "Federal HPCC program responsibilities (agency × component matrix)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "responsibilities",
+            modules: &["hpcc_core::responsibilities"],
+            bench: Some("program_model"),
+        },
+        Exhibit {
+            id: "T4-3a",
+            title: "Federal HPCC program funding FY 92-93 (dollars in millions)",
+            kind: ExhibitKind::Table,
+            report_cmd: "funding",
+            modules: &["hpcc_core::funding::FundingTable"],
+            bench: Some("program_model"),
+        },
+        Exhibit {
+            id: "T4-3b",
+            title: "Funding by program component (HPCS/ASTA/NREN/BRHR)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "components",
+            modules: &["hpcc_core::funding::FundingTable::component_split"],
+            bench: None,
+        },
+        Exhibit {
+            id: "T4-3c",
+            title: "Approach (testbeds, application software teams, technology transfer)",
+            kind: ExhibitKind::Narrative,
+            report_cmd: "goals",
+            modules: &["hpcc_core::program::APPROACH"],
+            bench: None,
+        },
+        Exhibit {
+            id: "T4-4a",
+            title: "Touchstone Delta: peak 32 GFLOPS from 528 numeric processors",
+            kind: ExhibitKind::Table,
+            report_cmd: "delta-peak",
+            modules: &["delta_mesh::presets::delta_528"],
+            bench: Some("sim_machines"),
+        },
+        Exhibit {
+            id: "T4-4b",
+            title: "Touchstone Delta: 13 GFLOPS LINPACK at order 25,000",
+            kind: ExhibitKind::Table,
+            report_cmd: "delta-linpack",
+            modules: &["hpcc_kernels::sim::lu2d", "delta_mesh"],
+            bench: Some("sim_linpack"),
+        },
+        Exhibit {
+            id: "F-T4-4c",
+            title: "LINPACK GFLOPS vs matrix order (derived sweep)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "linpack-sweep",
+            modules: &["hpcc_kernels::sim::lu2d"],
+            bench: Some("sim_linpack"),
+        },
+        Exhibit {
+            id: "F-T4-4d",
+            title: "DARPA Touchstone series: iPSC/860 → Delta → Paragon",
+            kind: ExhibitKind::Figure,
+            report_cmd: "mpp-series",
+            modules: &["delta_mesh::presets", "hpcc_kernels::sim::lu2d"],
+            bench: Some("sim_machines"),
+        },
+        Exhibit {
+            id: "T4-5a",
+            title: "Delta Consortium partners network (6 link classes)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "consortium-net",
+            modules: &["nren_netsim::topologies::delta_consortium"],
+            bench: Some("netsim"),
+        },
+        Exhibit {
+            id: "F-T4-5b",
+            title: "NREN backbone upgrade: T1 → T3 → gigabit (derived sweep)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "nren-upgrade",
+            modules: &["nren_netsim::topologies::nsfnet"],
+            bench: Some("netsim"),
+        },
+        Exhibit {
+            id: "T4-5c",
+            title: "CASA HIPPI/SONET 800 Mb/s gigabit testbed",
+            kind: ExhibitKind::Table,
+            report_cmd: "casa",
+            modules: &["nren_netsim::topologies::casa_testbed"],
+            bench: Some("netsim"),
+        },
+        Exhibit {
+            id: "T4-5d",
+            title: "Concurrent Supercomputer Consortium membership",
+            kind: ExhibitKind::Narrative,
+            report_cmd: "consortium-net",
+            modules: &["hpcc_core::consortium::CSC_MEMBERS"],
+            bench: None,
+        },
+        Exhibit {
+            id: "T4-6",
+            title: "CAS consortium: purposes and private-sector participants",
+            kind: ExhibitKind::Narrative,
+            report_cmd: "cas",
+            modules: &["hpcc_core::consortium", "hpcc_kernels::cfd"],
+            bench: Some("kernels/cfd"),
+        },
+        Exhibit {
+            id: "T4-4e",
+            title: "'Acquire and utilize': space-sharing the Delta (FCFS vs backfill)",
+            kind: ExhibitKind::Table,
+            report_cmd: "scheduler",
+            modules: &["delta_mesh::partition", "delta_mesh::sched"],
+            bench: Some("ablations/scheduler"),
+        },
+        Exhibit {
+            id: "AB-1",
+            title: "Ablation: wormhole vs store-and-forward; broadcast algorithms",
+            kind: ExhibitKind::Table,
+            report_cmd: "ablations",
+            modules: &["delta_mesh::machine::Switching", "delta_mesh::collective"],
+            bench: Some("ablations"),
+        },
+        Exhibit {
+            id: "GC-0",
+            title: "ASTA kernel profile on the simulated Delta (who scales, who doesn't)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "kernel-profile",
+            modules: &["hpcc_kernels::sim"],
+            bench: Some("simulator"),
+        },
+        Exhibit {
+            id: "TL-1",
+            title: "Program timeline and out-year gaps (teraops, gigabit)",
+            kind: ExhibitKind::Narrative,
+            report_cmd: "timeline",
+            modules: &["hpcc_core::timeline"],
+            bench: None,
+        },
+        Exhibit {
+            id: "GC-1",
+            title: "Grand Challenge kernels: host-parallel speedups (ASTA column)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "grand-challenges",
+            modules: &[
+                "hpcc_kernels::cfd",
+                "hpcc_kernels::shallow",
+                "hpcc_kernels::nbody",
+                "hpcc_kernels::fft",
+                "hpcc_kernels::cg",
+            ],
+            bench: Some("kernels"),
+        },
+    ]
+}
+
+/// Find an exhibit by id.
+pub fn by_id(id: &str) -> Option<&'static Exhibit> {
+    registry().iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_deck_page() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        // One entry minimum per physical page T4-1..T4-6.
+        for page in 1..=6 {
+            let prefix = format!("T4-{page}");
+            assert!(
+                ids.iter().any(|i| i.contains(&prefix)),
+                "page {prefix} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mut ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), registry().len());
+    }
+
+    #[test]
+    fn every_table_and_figure_has_a_report_command() {
+        for e in registry() {
+            assert!(!e.report_cmd.is_empty(), "{}", e.id);
+            assert!(!e.modules.is_empty(), "{}", e.id);
+        }
+    }
+
+    #[test]
+    fn quantitative_exhibits_have_benches() {
+        for e in registry() {
+            if e.kind == ExhibitKind::Table {
+                assert!(e.bench.is_some(), "table {} lacks a bench", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("T4-3a").is_some());
+        assert!(by_id("nope").is_none());
+        assert_eq!(by_id("T4-4b").unwrap().report_cmd, "delta-linpack");
+    }
+}

@@ -1,0 +1,288 @@
+//! Exhibit T4-3a: the FY 1992–93 federal HPCC funding table, in exact
+//! integer arithmetic (tenths of a million dollars) so the regenerated
+//! table reproduces the paper's figures digit for digit.
+
+use crate::program::{Agency, Component};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Money in tenths of a million dollars (e.g. `Money(2322)` = $232.2 M).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(pub i64);
+
+impl Money {
+    pub fn millions(self) -> f64 {
+        self.0 as f64 / 10.0
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.0 / 10, (self.0 % 10).abs())
+    }
+}
+
+impl std::ops::Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        Money(iter.map(|m| m.0).sum())
+    }
+}
+
+/// Fiscal year selector for the two columns of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FiscalYear {
+    Fy1992,
+    Fy1993,
+}
+
+/// The agency × fiscal-year budget crosscut.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FundingTable {
+    rows: Vec<(Agency, Money, Money)>,
+}
+
+impl FundingTable {
+    /// The exhibit's data, verbatim (dollars in millions):
+    ///
+    /// | Agency | FY 1992 | FY 1993 |
+    /// |---|---|---|
+    /// | DARPA | 232.2 | 275.0 |
+    /// | NSF | 200.9 | 261.9 |
+    /// | DOE | 92.3 | 109.1 |
+    /// | NASA | 71.2 | 89.1 |
+    /// | HHS/NIH | 41.3 | 44.9 |
+    /// | DOC/NOAA | 9.8 | 10.8 |
+    /// | EPA | 5.0 | 8.0 |
+    /// | DOC/NIST | 2.1 | 4.1 |
+    /// | **Total** | **654.8** | **802.9** |
+    pub fn fy1992_93() -> FundingTable {
+        let m = Money;
+        FundingTable {
+            rows: vec![
+                (Agency::Darpa, m(2322), m(2750)),
+                (Agency::Nsf, m(2009), m(2619)),
+                (Agency::Doe, m(923), m(1091)),
+                (Agency::Nasa, m(712), m(891)),
+                (Agency::Nih, m(413), m(449)),
+                (Agency::Noaa, m(98), m(108)),
+                (Agency::Epa, m(50), m(80)),
+                (Agency::Nist, m(21), m(41)),
+            ],
+        }
+    }
+
+    pub fn agencies(&self) -> impl Iterator<Item = Agency> + '_ {
+        self.rows.iter().map(|(a, _, _)| *a)
+    }
+
+    /// One agency's budget in a fiscal year.
+    pub fn budget(&self, agency: Agency, fy: FiscalYear) -> Money {
+        let (_, a92, a93) = self
+            .rows
+            .iter()
+            .find(|(a, _, _)| *a == agency)
+            .expect("agency in table");
+        match fy {
+            FiscalYear::Fy1992 => *a92,
+            FiscalYear::Fy1993 => *a93,
+        }
+    }
+
+    /// Column total — must equal the exhibit's printed totals exactly.
+    pub fn total(&self, fy: FiscalYear) -> Money {
+        self.rows
+            .iter()
+            .map(|(a, _, _)| self.budget(*a, fy))
+            .sum()
+    }
+
+    /// Year-over-year growth for one agency, percent.
+    pub fn growth_pct(&self, agency: Agency) -> f64 {
+        let a = self.budget(agency, FiscalYear::Fy1992).0 as f64;
+        let b = self.budget(agency, FiscalYear::Fy1993).0 as f64;
+        (b - a) / a * 100.0
+    }
+
+    /// Program-wide growth, percent.
+    pub fn total_growth_pct(&self) -> f64 {
+        let a = self.total(FiscalYear::Fy1992).0 as f64;
+        let b = self.total(FiscalYear::Fy1993).0 as f64;
+        (b - a) / a * 100.0
+    }
+
+    /// Agency share of the crosscut, percent.
+    pub fn share_pct(&self, agency: Agency, fy: FiscalYear) -> f64 {
+        self.budget(agency, fy).0 as f64 / self.total(fy).0 as f64 * 100.0
+    }
+
+    /// Split an agency's budget across the four program components.
+    ///
+    /// **Reconstruction note.** The deck's pie figure (T4-3b) labels the
+    /// four components but the NTRS scan carries no numerals, so the
+    /// weights below are a documented estimate from the agencies' stated
+    /// responsibilities (T4-2) and the FY93 Blue Book proportions. Each
+    /// agency's weights are in percent and sum to 100; rounding residue
+    /// goes to ASTA so column sums stay exact.
+    pub fn component_weights(agency: Agency) -> [(Component, u32); 4] {
+        use Component::*;
+        match agency {
+            Agency::Darpa => [(Hpcs, 50), (Asta, 15), (Nren, 20), (Brhr, 15)],
+            Agency::Nsf => [(Hpcs, 10), (Asta, 35), (Nren, 25), (Brhr, 30)],
+            Agency::Doe => [(Hpcs, 15), (Asta, 55), (Nren, 15), (Brhr, 15)],
+            Agency::Nasa => [(Hpcs, 15), (Asta, 60), (Nren, 15), (Brhr, 10)],
+            Agency::Nih => [(Hpcs, 5), (Asta, 50), (Nren, 15), (Brhr, 30)],
+            Agency::Noaa => [(Hpcs, 0), (Asta, 80), (Nren, 20), (Brhr, 0)],
+            Agency::Epa => [(Hpcs, 0), (Asta, 70), (Nren, 10), (Brhr, 20)],
+            Agency::Nist => [(Hpcs, 30), (Asta, 30), (Nren, 40), (Brhr, 0)],
+        }
+    }
+
+    /// Program-wide component split for a fiscal year. Sums exactly to
+    /// the column total.
+    pub fn component_split(&self, fy: FiscalYear) -> [(Component, Money); 4] {
+        let mut totals = [0i64; 4];
+        for (agency, _, _) in &self.rows {
+            let budget = self.budget(*agency, fy).0;
+            let weights = Self::component_weights(*agency);
+            let mut assigned = 0i64;
+            for (comp, w) in weights {
+                if comp == Component::Asta {
+                    continue; // ASTA absorbs the rounding residue below
+                }
+                let part = budget * w as i64 / 100;
+                totals[comp_idx(comp)] += part;
+                assigned += part;
+            }
+            // ASTA takes exactly what the other components left behind,
+            // so column sums stay exact under integer division.
+            totals[comp_idx(Component::Asta)] += budget - assigned;
+        }
+        [
+            (Component::Hpcs, Money(totals[0])),
+            (Component::Asta, Money(totals[1])),
+            (Component::Nren, Money(totals[2])),
+            (Component::Brhr, Money(totals[3])),
+        ]
+    }
+}
+
+fn comp_idx(c: Component) -> usize {
+    match c {
+        Component::Hpcs => 0,
+        Component::Asta => 1,
+        Component::Nren => 2,
+        Component::Brhr => 3,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FiscalYear::*;
+
+    #[test]
+    fn totals_match_the_exhibit_exactly() {
+        let t = FundingTable::fy1992_93();
+        assert_eq!(t.total(Fy1992), Money(6548)); // $654.8M
+        assert_eq!(t.total(Fy1993), Money(8029)); // $802.9M
+        assert_eq!(t.total(Fy1992).to_string(), "654.8");
+        assert_eq!(t.total(Fy1993).to_string(), "802.9");
+    }
+
+    #[test]
+    fn individual_rows_verbatim() {
+        let t = FundingTable::fy1992_93();
+        assert_eq!(t.budget(Agency::Darpa, Fy1992).to_string(), "232.2");
+        assert_eq!(t.budget(Agency::Nsf, Fy1993).to_string(), "261.9");
+        assert_eq!(t.budget(Agency::Nist, Fy1992).to_string(), "2.1");
+        assert_eq!(t.budget(Agency::Epa, Fy1993).to_string(), "8.0");
+    }
+
+    #[test]
+    fn program_grows_22_6_percent() {
+        let t = FundingTable::fy1992_93();
+        let g = t.total_growth_pct();
+        assert!((g - 22.62).abs() < 0.02, "growth {g}%");
+    }
+
+    #[test]
+    fn every_agency_grows() {
+        let t = FundingTable::fy1992_93();
+        for a in Agency::ALL {
+            assert!(t.growth_pct(a) > 0.0, "{} shrank", a.label());
+        }
+    }
+
+    #[test]
+    fn darpa_and_nsf_dominate() {
+        let t = FundingTable::fy1992_93();
+        for fy in [Fy1992, Fy1993] {
+            let share = t.share_pct(Agency::Darpa, fy) + t.share_pct(Agency::Nsf, fy);
+            assert!(share > 60.0, "DARPA+NSF share {share}%");
+        }
+    }
+
+    #[test]
+    fn nist_has_largest_relative_growth() {
+        let t = FundingTable::fy1992_93();
+        let nist = t.growth_pct(Agency::Nist);
+        for a in Agency::ALL {
+            if a != Agency::Nist {
+                assert!(nist > t.growth_pct(a), "{}", a.label());
+            }
+        }
+        assert!((nist - 95.2).abs() < 0.3, "NIST growth {nist}%");
+    }
+
+    #[test]
+    fn component_weights_sum_to_100() {
+        for a in Agency::ALL {
+            let total: u32 = FundingTable::component_weights(a)
+                .iter()
+                .map(|(_, w)| *w)
+                .sum();
+            assert_eq!(total, 100, "{}", a.label());
+        }
+    }
+
+    #[test]
+    fn component_split_sums_to_total() {
+        let t = FundingTable::fy1992_93();
+        for fy in [Fy1992, Fy1993] {
+            let split = t.component_split(fy);
+            let sum: Money = split.iter().map(|(_, m)| *m).sum();
+            assert_eq!(sum, t.total(fy), "{fy:?}");
+        }
+    }
+
+    #[test]
+    fn asta_is_the_largest_component() {
+        // The application-software component carries the Grand Challenge
+        // money — it should lead the split.
+        let t = FundingTable::fy1992_93();
+        let split = t.component_split(Fy1993);
+        let asta = split.iter().find(|(c, _)| *c == Component::Asta).unwrap().1;
+        for (c, m) in split {
+            if c != Component::Asta {
+                assert!(asta > m, "{}", c.label());
+            }
+        }
+    }
+
+    #[test]
+    fn money_formatting() {
+        assert_eq!(Money(2322).to_string(), "232.2");
+        assert_eq!(Money(50).to_string(), "5.0");
+        assert_eq!(Money(8029).millions(), 802.9);
+    }
+}

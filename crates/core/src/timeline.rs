@@ -1,0 +1,97 @@
+//! The program's milestone timeline — the events the deck narrates
+//! (Presidential commitment, the HPCC Act, the Delta installation, the
+//! NSFnet T3 upgrade) plus the published out-year goals the components
+//! were funded to reach.
+
+use serde::Serialize;
+
+/// A dated program milestone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Milestone {
+    /// Calendar year.
+    pub year: u32,
+    pub what: &'static str,
+    /// Which thread of the story it belongs to.
+    pub thread: Thread,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Thread {
+    Policy,
+    Machines,
+    Networks,
+    Applications,
+}
+
+/// Milestones in chronological order.
+pub const MILESTONES: [Milestone; 12] = [
+    Milestone { year: 1988, what: "NSFnet T1 backbone complete (1.5 Mb/s)", thread: Thread::Networks },
+    Milestone { year: 1989, what: "FCCSET reports propose a federal HPC initiative", thread: Thread::Policy },
+    Milestone { year: 1990, what: "Intel iPSC/860 ('Touchstone Gamma') ships", thread: Thread::Machines },
+    Milestone { year: 1991, what: "Presidential commitment (Caltech commencement speech)", thread: Thread::Policy },
+    Milestone { year: 1991, what: "High Performance Computing Act (P.L. 102-194) signed", thread: Thread::Policy },
+    Milestone { year: 1991, what: "Intel Touchstone Delta installed at Caltech: 528 processors, 32 GFLOPS peak", thread: Thread::Machines },
+    Milestone { year: 1991, what: "CASA gigabit testbed links Caltech/JPL/LANL/SDSC over HIPPI/SONET", thread: Thread::Networks },
+    Milestone { year: 1992, what: "NSFnet T3 backbone operational (45 Mb/s)", thread: Thread::Networks },
+    Milestone { year: 1992, what: "Delta LINPACK: 13 GFLOPS at order 25,000", thread: Thread::Machines },
+    Milestone { year: 1992, what: "Concurrent Supercomputer Consortium and CAS consortium operating", thread: Thread::Applications },
+    Milestone { year: 1992, what: "FY93 HPCC crosscut budget: $802.9M across 8 agencies", thread: Thread::Policy },
+    Milestone { year: 1993, what: "Intel Paragon XP/S (Delta's production successor) deliveries begin", thread: Thread::Machines },
+];
+
+/// Milestones of one thread, chronological.
+pub fn thread(t: Thread) -> Vec<Milestone> {
+    MILESTONES.iter().copied().filter(|m| m.thread == t).collect()
+}
+
+/// The program's stated out-year performance goals.
+pub mod goals_1996 {
+    /// HPCS: a sustained teraflops system.
+    pub const TERAOPS_GOAL_GFLOPS: f64 = 1000.0;
+    /// NREN: gigabit-per-second national research network.
+    pub const NREN_GOAL_GBPS: f64 = 1.0;
+
+    /// Factor still to go from the Delta's sustained LINPACK (13 GFLOPS).
+    pub fn compute_gap_from_delta() -> f64 {
+        TERAOPS_GOAL_GFLOPS / 13.0
+    }
+
+    /// Factor still to go from the NSFnet T3 backbone (45 Mb/s).
+    pub fn network_gap_from_t3() -> f64 {
+        NREN_GOAL_GBPS * 1e9 / 44.736e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chronological_and_nonempty() {
+        assert!(MILESTONES.windows(2).all(|w| w[0].year <= w[1].year));
+        for t in [
+            Thread::Policy,
+            Thread::Machines,
+            Thread::Networks,
+            Thread::Applications,
+        ] {
+            assert!(!thread(t).is_empty(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn act_and_delta_in_1991() {
+        let y1991: Vec<_> = MILESTONES.iter().filter(|m| m.year == 1991).collect();
+        assert!(y1991.iter().any(|m| m.what.contains("102-194")));
+        assert!(y1991.iter().any(|m| m.what.contains("Delta")));
+    }
+
+    #[test]
+    fn gaps_quantify_the_program_pitch() {
+        // The deck's whole argument: ~77x to teraops, ~22x to gigabit.
+        let cg = goals_1996::compute_gap_from_delta();
+        assert!((cg - 76.9).abs() < 0.1, "compute gap {cg}");
+        let ng = goals_1996::network_gap_from_t3();
+        assert!((ng - 22.35).abs() < 0.1, "network gap {ng}");
+    }
+}

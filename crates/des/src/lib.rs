@@ -1,0 +1,26 @@
+//! `des` — a small, deterministic discrete-event simulation engine.
+//!
+//! This crate is the substrate under both simulators in the HPCC 1992
+//! reproduction:
+//!
+//! * `delta-mesh` — the Touchstone Delta-class multicomputer simulator —
+//!   uses the [`exec`] cooperative executor to run hundreds of simulated
+//!   node programs as `async fn`s, and the [`queue`] event calendar to
+//!   order message/compute events.
+//! * `nren-netsim` — the NREN-era WAN flow simulator — uses the event
+//!   calendar and [`rng`] workload generators.
+//!
+//! Everything here is single-threaded and bit-reproducible: integer virtual
+//! time, FIFO tie-breaking, a locally implemented Xoshiro256** generator.
+
+pub mod exec;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use exec::{yield_now, Completion, TaskId, Tasks};
+pub use queue::EventQueue;
+pub use rng::Rng;
+pub use stats::{Histogram, Summary};
+pub use time::{Dur, SimTime};

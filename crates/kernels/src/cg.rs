@@ -1,0 +1,296 @@
+//! Sparse conjugate gradient — the DOE "energy and grand challenge
+//! computational research" kernel: CSR storage, sequential and Rayon
+//! SpMV, and a preconditioner-free CG solver.
+
+use crate::mat::vecops::{axpy, dot, norm2};
+use rayon::prelude::*;
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from triplets (row, col, value); duplicates are summed.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Csr {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(r, c, v) in triplets {
+            assert!(r < n && c < n, "triplet out of range");
+            rows[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for row in &mut rows {
+            row.sort_by_key(|&(c, _)| c);
+            let mut last: Option<usize> = None;
+            for &(c, v) in row.iter() {
+                if last == Some(c) {
+                    *data.last_mut().unwrap() += v;
+                } else {
+                    indices.push(c);
+                    data.push(v);
+                    last = Some(c);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr {
+            n,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// The standard 5-point Laplacian on a g×g interior grid
+    /// (n = g², symmetric positive definite).
+    pub fn poisson2d(g: usize) -> Csr {
+        let id = |i: usize, j: usize| i * g + j;
+        let mut t = Vec::with_capacity(5 * g * g);
+        for i in 0..g {
+            for j in 0..g {
+                t.push((id(i, j), id(i, j), 4.0));
+                if i > 0 {
+                    t.push((id(i, j), id(i - 1, j), -1.0));
+                }
+                if i + 1 < g {
+                    t.push((id(i, j), id(i + 1, j), -1.0));
+                }
+                if j > 0 {
+                    t.push((id(i, j), id(i, j - 1), -1.0));
+                }
+                if j + 1 < g {
+                    t.push((id(i, j), id(i, j + 1), -1.0));
+                }
+            }
+        }
+        Csr::from_triplets(g * g, &t)
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.data[lo..hi])
+            .map(|(&c, &v)| v * x[c])
+            .sum()
+    }
+
+    /// y = A·x, sequential.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row_dot(i, x);
+        }
+    }
+
+    /// y = A·x, Rayon over rows (bit-identical to sequential).
+    pub fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, yi)| *yi = self.row_dot(i, x));
+    }
+}
+
+/// CG convergence report.
+#[derive(Debug, Clone, Copy)]
+pub struct CgResult {
+    pub iterations: usize,
+    pub residual: f64,
+    pub converged: bool,
+}
+
+/// Conjugate gradient for SPD systems: solves A·x = b in place on `x`
+/// (initial guess in). `parallel` selects the Rayon SpMV.
+pub fn cg(a: &Csr, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize, parallel: bool) -> CgResult {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let bnorm = norm2(b).max(1e-300);
+
+    let mut ax = vec![0.0; n];
+    let spmv = |a: &Csr, x: &[f64], y: &mut [f64]| {
+        if parallel {
+            a.spmv_par(x, y)
+        } else {
+            a.spmv(x, y)
+        }
+    };
+    spmv(a, x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+
+    let mut iters = 0;
+    while iters < max_iters && rs.sqrt() / bnorm > tol {
+        spmv(a, &p, &mut ax); // ax = A p
+        let alpha = rs / dot(&p, &ax).max(1e-300);
+        axpy(alpha, &p, x);
+        axpy(-alpha, &ax, &mut r);
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs = rs_new;
+        iters += 1;
+    }
+    CgResult {
+        iterations: iters,
+        residual: rs.sqrt() / bnorm,
+        converged: rs.sqrt() / bnorm <= tol,
+    }
+}
+
+/// FLOPs of one CG iteration: one SpMV (2·nnz) plus 5 vector ops (2n each).
+pub fn cg_iter_flops(n: usize, nnz: usize) -> f64 {
+    2.0 * nnz as f64 + 10.0 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{lu_factor, lu_solve};
+    use crate::mat::Mat;
+
+    #[test]
+    fn csr_builds_and_dedups() {
+        let a = Csr::from_triplets(3, &[(0, 0, 1.0), (0, 0, 2.0), (1, 2, 5.0), (2, 1, -1.0)]);
+        assert_eq!(a.nnz(), 3);
+        let mut y = vec![0.0; 3];
+        a.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, -1.0]);
+    }
+
+    #[test]
+    fn poisson_is_symmetric() {
+        let a = Csr::poisson2d(6);
+        let n = a.n();
+        // Check A == A^T via random vectors: x'Ay == y'Ax.
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let yv: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut ax = vec![0.0; n];
+        let mut ay = vec![0.0; n];
+        a.spmv(&x, &mut ax);
+        a.spmv(&yv, &mut ay);
+        assert!((dot(&yv, &ax) - dot(&x, &ay)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spmv_par_matches_sequential() {
+        let a = Csr::poisson2d(20);
+        let x: Vec<f64> = (0..a.n()).map(|i| ((i * 7) % 13) as f64).collect();
+        let mut ys = vec![0.0; a.n()];
+        let mut yp = vec![0.0; a.n()];
+        a.spmv(&x, &mut ys);
+        a.spmv_par(&x, &mut yp);
+        assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn cg_solves_poisson() {
+        let a = Csr::poisson2d(16);
+        let n = a.n();
+        let xtrue: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xtrue, &mut b);
+        let mut x = vec![0.0; n];
+        let res = cg(&a, &b, &mut x, 1e-12, 10_000, false);
+        assert!(res.converged, "residual {}", res.residual);
+        let err = x
+            .iter()
+            .zip(&xtrue)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-8, "max err {err}");
+    }
+
+    #[test]
+    fn cg_matches_dense_lu() {
+        // Same small SPD system through both solvers.
+        let g = 5;
+        let a = Csr::poisson2d(g);
+        let n = a.n();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut x = vec![0.0; n];
+        cg(&a, &b, &mut x, 1e-13, 10_000, true);
+
+        let dense = Mat::from_fn(n, n, |i, j| {
+            let gi = (i / g, i % g);
+            let gj = (j / g, j % g);
+            if i == j {
+                4.0
+            } else if (gi.0 == gj.0 && gi.1.abs_diff(gj.1) == 1)
+                || (gi.1 == gj.1 && gi.0.abs_diff(gj.0) == 1)
+            {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let mut f = dense.clone();
+        let piv = lu_factor(&mut f, 8).unwrap();
+        let xd = lu_solve(&f, &piv, &b);
+        for (p, q) in x.iter().zip(&xd) {
+            assert!((p - q).abs() < 1e-8, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn cg_iteration_count_scales_with_grid() {
+        // κ(Poisson) grows like g², CG iterations like g.
+        let mut iters = Vec::new();
+        for g in [8, 16, 32] {
+            let a = Csr::poisson2d(g);
+            let b = vec![1.0; a.n()];
+            let mut x = vec![0.0; a.n()];
+            let r = cg(&a, &b, &mut x, 1e-10, 100_000, false);
+            assert!(r.converged);
+            iters.push(r.iterations as f64);
+        }
+        let r1 = iters[1] / iters[0];
+        let r2 = iters[2] / iters[1];
+        // Roughly linear in g (κ ~ g²  ⇒  iters ~ g), with slack for
+        // small-grid effects.
+        assert!(r1 > 1.3 && r1 < 3.5, "scaling {r1}");
+        assert!(r2 > 1.3 && r2 < 3.5, "scaling {r2}");
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = Csr::poisson2d(4);
+        let b = vec![0.0; a.n()];
+        let mut x = vec![0.0; a.n()];
+        let r = cg(&a, &b, &mut x, 1e-10, 100, false);
+        assert_eq!(r.iterations, 0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn flops_accounting() {
+        let a = Csr::poisson2d(10);
+        let f = cg_iter_flops(a.n(), a.nnz());
+        assert!(f > 0.0);
+        assert_eq!(f, 2.0 * a.nnz() as f64 + 10.0 * 100.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Radix-2 complex FFT — the transform kernel behind the earth/space
+//! science workloads (spectral atmosphere models, SAR processing).
+//!
+//! Iterative in-place Cooley–Tukey with bit-reversal, an inverse via
+//! conjugation, and a Rayon-parallel 2-D transform (rows, transpose,
+//! rows). No external complex type: a local `Cpx`.
+
+use rayon::prelude::*;
+
+/// Minimal complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cpx {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Cpx {
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Cpx {
+        Cpx { re, im }
+    }
+
+    #[inline]
+    pub fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    pub fn sub(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re - o.re, self.im - o.im)
+    }
+
+    #[inline]
+    pub fn mul(self, o: Cpx) -> Cpx {
+        Cpx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    #[inline]
+    pub fn conj(self) -> Cpx {
+        Cpx::new(self.re, -self.im)
+    }
+
+    #[inline]
+    pub fn scale(self, k: f64) -> Cpx {
+        Cpx::new(self.re * k, self.im * k)
+    }
+
+    pub fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// e^{iθ}.
+    pub fn cis(theta: f64) -> Cpx {
+        Cpx::new(theta.cos(), theta.sin())
+    }
+}
+
+/// In-place forward FFT. Length must be a power of two.
+pub fn fft(x: &mut [Cpx]) {
+    fft_dir(x, false);
+}
+
+/// In-place inverse FFT (includes the 1/n scaling).
+pub fn ifft(x: &mut [Cpx]) {
+    fft_dir(x, true);
+}
+
+fn fft_dir(x: &mut [Cpx], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Cpx::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cpx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = x[start + k];
+                let b = x[start + k + len / 2].mul(w);
+                x[start + k] = a.add(b);
+                x[start + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+/// 2-D FFT of an n×n row-major grid: FFT all rows, transpose, FFT all
+/// rows again, transpose back. `parallel` uses Rayon over rows.
+pub fn fft2d(data: &mut Vec<Cpx>, n: usize, parallel: bool) {
+    assert_eq!(data.len(), n * n);
+    let pass = |d: &mut Vec<Cpx>| {
+        if parallel {
+            d.par_chunks_mut(n).for_each(fft);
+        } else {
+            d.chunks_mut(n).for_each(fft);
+        }
+    };
+    pass(data);
+    transpose(data, n);
+    pass(data);
+    transpose(data, n);
+}
+
+/// Inverse 2-D FFT.
+pub fn ifft2d(data: &mut Vec<Cpx>, n: usize, parallel: bool) {
+    assert_eq!(data.len(), n * n);
+    let pass = |d: &mut Vec<Cpx>| {
+        if parallel {
+            d.par_chunks_mut(n).for_each(ifft);
+        } else {
+            d.chunks_mut(n).for_each(ifft);
+        }
+    };
+    pass(data);
+    transpose(data, n);
+    pass(data);
+    transpose(data, n);
+}
+
+fn transpose(data: &mut [Cpx], n: usize) {
+    for i in 0..n {
+        for j in i + 1..n {
+            data.swap(i * n + j, j * n + i);
+        }
+    }
+}
+
+/// FLOPs of a length-n radix-2 FFT (5 n log₂ n, the usual convention).
+pub fn fft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cpx, b: Cpx, tol: f64) -> bool {
+        (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol
+    }
+
+    #[test]
+    fn delta_transforms_to_flat() {
+        let mut x = vec![Cpx::ZERO; 8];
+        x[0] = Cpx::new(1.0, 0.0);
+        fft(&mut x);
+        for v in &x {
+            assert!(close(*v, Cpx::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_delta() {
+        let mut x = vec![Cpx::new(1.0, 0.0); 16];
+        fft(&mut x);
+        assert!(close(x[0], Cpx::new(16.0, 0.0), 1e-12));
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut x: Vec<Cpx> = (0..n)
+            .map(|t| Cpx::cis(std::f64::consts::TAU * k as f64 * t as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (bin, v) in x.iter().enumerate() {
+            if bin == k {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leak in bin {bin}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let n = 128;
+        let orig: Vec<Cpx> = (0..n)
+            .map(|i| Cpx::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!(close(*a, *b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 256;
+        let x: Vec<Cpx> = (0..n)
+            .map(|i| Cpx::new(((i * 37) % 11) as f64 - 5.0, ((i * 13) % 7) as f64))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
+        let mut f = x.clone();
+        fft(&mut f);
+        let freq_energy: f64 = f.iter().map(|v| v.abs() * v.abs()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<Cpx> = (0..n).map(|i| Cpx::new(i as f64, 0.0)).collect();
+        let b: Vec<Cpx> = (0..n).map(|i| Cpx::new(0.0, (i * i) as f64)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft(&mut fa);
+        fft(&mut fb);
+        let mut fab: Vec<Cpx> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        fft(&mut fab);
+        for i in 0..n {
+            assert!(close(fab[i], fa[i].add(fb[i]), 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft2d_roundtrip_parallel_matches_sequential() {
+        let n = 32;
+        let orig: Vec<Cpx> = (0..n * n)
+            .map(|i| Cpx::new((i as f64 * 0.01).sin(), (i % 5) as f64))
+            .collect();
+        let mut seq = orig.clone();
+        fft2d(&mut seq, n, false);
+        let mut par = orig.clone();
+        fft2d(&mut par, n, true);
+        assert_eq!(seq, par, "row-parallel 2-D FFT must be bit-identical");
+        ifft2d(&mut seq, n, false);
+        for (a, b) in seq.iter().zip(&orig) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Cpx::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(fft_flops(1024), 5.0 * 1024.0 * 10.0);
+    }
+}

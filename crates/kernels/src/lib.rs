@@ -1,0 +1,27 @@
+//! `hpcc-kernels` — the computational workloads of the 1992 HPCC program.
+//!
+//! One crate, three execution styles for each kernel family:
+//! * **sequential** reference implementations (correctness anchors),
+//! * **Rayon host-parallel** variants (today's shared-memory testbed),
+//! * **simulator-hosted** variants in [`sim`] that run as `delta-mesh`
+//!   node programs to reproduce the paper's Touchstone Delta numbers.
+//!
+//! Kernel families and the Grand Challenge lines they stand in for:
+//! * [`lu`]/[`linpack`] — the LINPACK benchmark (the Delta exhibit),
+//! * [`cfd`]/[`multigrid`] — computational aerosciences (NASA/CAS),
+//! * [`shallow`] — ocean/atmosphere modelling (NOAA),
+//! * [`nbody`] — space sciences,
+//! * [`fft`] — signal/earth-and-space-science transforms,
+//! * [`cg`] — energy research sparse solvers (DOE).
+
+pub mod cfd;
+pub mod cg;
+pub mod fft;
+pub mod linpack;
+pub mod lu;
+pub mod mat;
+pub mod matmul;
+pub mod multigrid;
+pub mod nbody;
+pub mod shallow;
+pub mod sim;

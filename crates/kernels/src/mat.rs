@@ -1,0 +1,299 @@
+//! A small dense row-major matrix type used by the LINPACK and BLAS-like
+//! kernels. Not a general linear-algebra library — exactly what the
+//! benchmark codes of the era used: a flat array and index arithmetic.
+
+use des::rng::Rng;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[&[f64]]) -> Mat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut m = Mat::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.row_mut(i).copy_from_slice(row);
+        }
+        m
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Uniform random entries in [-1, 1) — the LINPACK generator's range.
+    pub fn random(rows: usize, cols: usize, rng: &mut Rng) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.range_f64(-1.0, 1.0);
+        }
+        m
+    }
+
+    /// Random symmetric diagonally dominant matrix (always non-singular,
+    /// positive definite) — handy for well-conditioned test systems.
+    pub fn random_spd(n: usize, rng: &mut Rng) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..i {
+                let v = rng.range_f64(-1.0, 1.0);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            m[(i, i)] = row_sum + 1.0 + rng.next_f64();
+        }
+        m
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn col_vec(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (top, bot) = self.data.split_at_mut(hi * self.cols);
+        top[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut bot[..self.cols]);
+    }
+
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// y = A x.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Max-absolute-value norm of the matrix.
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Frobenius-norm distance to another matrix.
+    pub fn dist(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Vector helpers shared by the solvers.
+pub mod vecops {
+    /// Euclidean norm.
+    pub fn norm2(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm.
+    pub fn norm_inf(x: &[f64]) -> f64 {
+        x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Dot product.
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// y += alpha * x.
+    pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vecops::*;
+    use super::*;
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = Mat::zeros(3, 4);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m.row(1)[2], 5.0);
+    }
+
+    #[test]
+    fn identity_matvec_is_id() {
+        let m = Mat::identity(5);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn from_rows_and_transpose() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t[(0, 2)], 5.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn swap_rows_works_both_orders() {
+        let mut m = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[3.0, 3.0]);
+        assert_eq!(m.row(2), &[1.0, 1.0]);
+        m.swap_rows(2, 0); // reverse order, same effect
+        assert_eq!(m.row(0), &[1.0, 1.0]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Mat::from_rows(&[&[1.0, -2.0], &[-3.0, 0.5]]);
+        assert_eq!(m.max_norm(), 3.0);
+        assert_eq!(m.inf_norm(), 3.5);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn spd_matrix_is_diagonally_dominant() {
+        let mut rng = Rng::new(5);
+        let m = Mat::random_spd(20, &mut rng);
+        for i in 0..20 {
+            let off: f64 = (0..20).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            assert!(m[(i, i)] > off, "row {i} not dominant");
+            for j in 0..20 {
+                assert_eq!(m[(i, j)], m[(j, i)], "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 14.0, 16.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a = Mat::random(4, 4, &mut Rng::new(9));
+        let b = Mat::random(4, 4, &mut Rng::new(9));
+        assert_eq!(a, b);
+        let c = Mat::random(4, 4, &mut Rng::new(10));
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn dist_is_zero_iff_equal() {
+        let a = Mat::random(3, 5, &mut Rng::new(1));
+        assert_eq!(a.dist(&a), 0.0);
+        let mut b = a.clone();
+        b[(2, 4)] += 0.5;
+        assert!((a.dist(&b) - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,354 @@
+//! The shallow-water equations on a periodic staggered grid — the
+//! canonical ocean/atmosphere Grand Challenge kernel (the paper's NOAA
+//! "ocean and atmospheric computation research" line), after the classic
+//! Sadourny (1975) scheme used by the SHALLOW benchmark.
+//!
+//! Leapfrog time stepping with a Robert–Asselin filter; the scheme
+//! conserves total mass to round-off on the periodic domain, which the
+//! tests assert.
+
+use rayon::prelude::*;
+
+/// Model state: velocity components `u`, `v` and pressure/height `p`
+/// on an `m × m` periodic grid (flat row-major arrays).
+#[derive(Debug, Clone)]
+pub struct Shallow {
+    m: usize,
+    dx: f64,
+    dy: f64,
+    dt: f64,
+    alpha: f64,
+    tdt: f64,
+    first: bool,
+    pub u: Vec<f64>,
+    pub v: Vec<f64>,
+    pub p: Vec<f64>,
+    uold: Vec<f64>,
+    vold: Vec<f64>,
+    pold: Vec<f64>,
+    // Work arrays.
+    cu: Vec<f64>,
+    cv: Vec<f64>,
+    z: Vec<f64>,
+    h: Vec<f64>,
+    pub steps_taken: usize,
+}
+
+impl Shallow {
+    /// Classic benchmark initial condition: a sinusoidal stream function
+    /// over a 50 kPa background height field.
+    pub fn new(m: usize) -> Shallow {
+        assert!(m >= 4);
+        let dx = 1.0e5;
+        let dy = 1.0e5;
+        let dt = 90.0;
+        let a = 1.0e6;
+        let el = m as f64 * dx;
+        let pi = std::f64::consts::PI;
+        let tpi = 2.0 * pi;
+        let di = tpi / m as f64;
+        let dj = tpi / m as f64;
+        let pcf = pi * pi * a * a / (el * el);
+
+        let idx = |i: usize, j: usize| i * m + j;
+        // Stream function at cell corners (wrap-indexed).
+        let psi = |i: usize, j: usize| {
+            a * ((i as f64 + 0.5) * di).sin() * ((j as f64 + 0.5) * dj).sin()
+        };
+        let mut u = vec![0.0; m * m];
+        let mut v = vec![0.0; m * m];
+        let mut p = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                u[idx(i, j)] = -(psi(i, j + 1) - psi(i, j)) / dy;
+                v[idx(i, j)] = (psi(i + 1, j) - psi(i, j)) / dx;
+                p[idx(i, j)] =
+                    pcf * ((2.0 * i as f64 * di).cos() + (2.0 * j as f64 * dj).cos()) + 50_000.0;
+            }
+        }
+        Shallow {
+            m,
+            dx,
+            dy,
+            dt,
+            alpha: 0.001,
+            tdt: dt,
+            first: true,
+            uold: u.clone(),
+            vold: v.clone(),
+            pold: p.clone(),
+            cu: vec![0.0; m * m],
+            cv: vec![0.0; m * m],
+            z: vec![0.0; m * m],
+            h: vec![0.0; m * m],
+            u,
+            v,
+            p,
+            steps_taken: 0,
+        }
+    }
+
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The base (single) time step in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Simulated physical time elapsed, seconds.
+    pub fn sim_time(&self) -> f64 {
+        // Leapfrog: first step advances dt, every later one 2·dt worth of
+        // state per pair; steps × dt is the conventional accounting.
+        self.steps_taken as f64 * self.dt
+    }
+
+    /// Advance one leapfrog step. `parallel` uses Rayon row-parallel
+    /// sweeps that are bit-identical to the sequential ones.
+    pub fn step(&mut self, parallel: bool) {
+        let m = self.m;
+        let fsdx = 4.0 / self.dx;
+        let fsdy = 4.0 / self.dy;
+
+        // --- Phase 1: mass fluxes, vorticity, Bernoulli head. ---
+        {
+            let (u, v, p) = (&self.u, &self.v, &self.p);
+            let row_cu = |i: usize, out: &mut [f64]| {
+                let im = (i + m - 1) % m;
+                for j in 0..m {
+                    out[j] = 0.5 * (p[i * m + j] + p[im * m + j]) * u[i * m + j];
+                }
+            };
+            let row_cv = |i: usize, out: &mut [f64]| {
+                for j in 0..m {
+                    let jm = (j + m - 1) % m;
+                    out[j] = 0.5 * (p[i * m + j] + p[i * m + jm]) * v[i * m + j];
+                }
+            };
+            let row_z = |i: usize, out: &mut [f64]| {
+                let im = (i + m - 1) % m;
+                for j in 0..m {
+                    let jm = (j + m - 1) % m;
+                    out[j] = (fsdx * (v[i * m + j] - v[im * m + j])
+                        - fsdy * (u[i * m + j] - u[i * m + jm]))
+                        / (p[im * m + jm] + p[i * m + jm] + p[i * m + j] + p[im * m + j]);
+                }
+            };
+            let row_h = |i: usize, out: &mut [f64]| {
+                let ip = (i + 1) % m;
+                for j in 0..m {
+                    let jp = (j + 1) % m;
+                    out[j] = p[i * m + j]
+                        + 0.25
+                            * (u[ip * m + j] * u[ip * m + j]
+                                + u[i * m + j] * u[i * m + j]
+                                + v[i * m + jp] * v[i * m + jp]
+                                + v[i * m + j] * v[i * m + j]);
+                }
+            };
+            apply_rows(&mut self.cu, m, parallel, row_cu);
+            apply_rows(&mut self.cv, m, parallel, row_cv);
+            apply_rows(&mut self.z, m, parallel, row_z);
+            apply_rows(&mut self.h, m, parallel, row_h);
+        }
+
+        // --- Phase 2: leapfrog update. ---
+        let tdts8 = self.tdt / 8.0;
+        let tdtsdx = self.tdt / self.dx;
+        let tdtsdy = self.tdt / self.dy;
+        let mut unew = vec![0.0; m * m];
+        let mut vnew = vec![0.0; m * m];
+        let mut pnew = vec![0.0; m * m];
+        {
+            let (cu, cv, z, h) = (&self.cu, &self.cv, &self.z, &self.h);
+            let (uold, vold, pold) = (&self.uold, &self.vold, &self.pold);
+            let row_u = |i: usize, out: &mut [f64]| {
+                let im = (i + m - 1) % m;
+                for j in 0..m {
+                    let jp = (j + 1) % m;
+                    out[j] = uold[i * m + j]
+                        + tdts8
+                            * (z[i * m + jp] + z[i * m + j])
+                            * (cv[i * m + jp]
+                                + cv[im * m + jp]
+                                + cv[im * m + j]
+                                + cv[i * m + j])
+                        - tdtsdx * (h[i * m + j] - h[im * m + j]);
+                }
+            };
+            let row_v = |i: usize, out: &mut [f64]| {
+                let ip = (i + 1) % m;
+                for j in 0..m {
+                    let jm = (j + m - 1) % m;
+                    out[j] = vold[i * m + j]
+                        - tdts8
+                            * (z[ip * m + j] + z[i * m + j])
+                            * (cu[ip * m + j]
+                                + cu[i * m + j]
+                                + cu[i * m + jm]
+                                + cu[ip * m + jm])
+                        - tdtsdy * (h[i * m + j] - h[i * m + jm]);
+                }
+            };
+            let row_p = |i: usize, out: &mut [f64]| {
+                let ip = (i + 1) % m;
+                for j in 0..m {
+                    let jp = (j + 1) % m;
+                    out[j] = pold[i * m + j]
+                        - tdtsdx * (cu[ip * m + j] - cu[i * m + j])
+                        - tdtsdy * (cv[i * m + jp] - cv[i * m + j]);
+                }
+            };
+            apply_rows(&mut unew, m, parallel, row_u);
+            apply_rows(&mut vnew, m, parallel, row_v);
+            apply_rows(&mut pnew, m, parallel, row_p);
+        }
+
+        // --- Phase 3: Robert–Asselin time filter and rotation. ---
+        if self.first {
+            self.first = false;
+            self.tdt += self.tdt; // leapfrog doubles the step after start
+            self.uold.copy_from_slice(&self.u);
+            self.vold.copy_from_slice(&self.v);
+            self.pold.copy_from_slice(&self.p);
+        } else {
+            let alpha = self.alpha;
+            let filter = |old: &mut Vec<f64>, cur: &Vec<f64>, new: &Vec<f64>| {
+                for k in 0..m * m {
+                    old[k] = cur[k] + alpha * (new[k] - 2.0 * cur[k] + old[k]);
+                }
+            };
+            filter(&mut self.uold, &self.u, &unew);
+            filter(&mut self.vold, &self.v, &vnew);
+            filter(&mut self.pold, &self.p, &pnew);
+        }
+        self.u = unew;
+        self.v = vnew;
+        self.p = pnew;
+        self.steps_taken += 1;
+    }
+
+    pub fn run(&mut self, steps: usize, parallel: bool) {
+        for _ in 0..steps {
+            self.step(parallel);
+        }
+    }
+
+    /// Total mass Σp·dx·dy — conserved to round-off by the scheme.
+    pub fn total_mass(&self) -> f64 {
+        self.p.iter().sum::<f64>() * self.dx * self.dy
+    }
+
+    /// Kinetic energy diagnostic ½ Σ p·(u²+v²) (cell-centred average).
+    pub fn kinetic_energy(&self) -> f64 {
+        let m = self.m;
+        let mut e = 0.0;
+        for i in 0..m {
+            let ip = (i + 1) % m;
+            for j in 0..m {
+                let jp = (j + 1) % m;
+                let uu = 0.5 * (self.u[i * m + j] + self.u[ip * m + j]);
+                let vv = 0.5 * (self.v[i * m + j] + self.v[i * m + jp]);
+                e += 0.5 * self.p[i * m + j] * (uu * uu + vv * vv);
+            }
+        }
+        e
+    }
+}
+
+/// Fill `out` row by row with `f(i, row)`, optionally with Rayon.
+fn apply_rows(out: &mut [f64], m: usize, parallel: bool, f: impl Fn(usize, &mut [f64]) + Sync) {
+    if parallel {
+        out.par_chunks_mut(m).enumerate().for_each(|(i, r)| f(i, r));
+    } else {
+        out.chunks_mut(m).enumerate().for_each(|(i, r)| f(i, r));
+    }
+}
+
+/// FLOPs per time step of an m×m grid (the benchmark's own accounting:
+/// ~65 floating-point operations per grid point).
+pub fn step_flops(m: usize) -> f64 {
+    65.0 * (m * m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_is_conserved_to_roundoff() {
+        let mut sw = Shallow::new(32);
+        let m0 = sw.total_mass();
+        sw.run(100, false);
+        let m1 = sw.total_mass();
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-12,
+            "mass drift {}",
+            (m1 - m0) / m0
+        );
+    }
+
+    #[test]
+    fn fields_stay_finite_and_bounded() {
+        let mut sw = Shallow::new(24);
+        sw.run(200, false);
+        assert!(sw.p.iter().all(|v| v.is_finite()));
+        assert!(sw.u.iter().all(|v| v.is_finite()));
+        // Height stays near the 50 kPa background.
+        let (lo, hi) = sw
+            .p
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        assert!(lo > 30_000.0 && hi < 70_000.0, "p in [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let mut a = Shallow::new(20);
+        let mut b = Shallow::new(20);
+        a.run(50, false);
+        b.run(50, true);
+        assert_eq!(a.p, b.p);
+        assert_eq!(a.u, b.u);
+        assert_eq!(a.v, b.v);
+    }
+
+    #[test]
+    fn kinetic_energy_reasonably_stable() {
+        let mut sw = Shallow::new(32);
+        sw.step(false); // spin up past the first half step
+        let e0 = sw.kinetic_energy();
+        sw.run(150, false);
+        let e1 = sw.kinetic_energy();
+        assert!(
+            ((e1 - e0) / e0).abs() < 0.05,
+            "energy drift {} over 150 steps",
+            (e1 - e0) / e0
+        );
+    }
+
+    #[test]
+    fn dynamics_actually_evolve() {
+        let mut sw = Shallow::new(16);
+        let p0 = sw.p.clone();
+        sw.run(10, false);
+        let moved = sw
+            .p
+            .iter()
+            .zip(&p0)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(moved > 1.0, "flow is static: max |Δp| = {moved}");
+    }
+
+    #[test]
+    fn step_counter_and_flops() {
+        let mut sw = Shallow::new(8);
+        sw.run(5, false);
+        assert_eq!(sw.steps_taken, 5);
+        assert_eq!(step_flops(8), 65.0 * 64.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Distributed conjugate gradient on the simulated machine (timing
+//! model) — the "allreduce tax" exhibit: two global dot products per
+//! iteration make CG latency-bound at scale, the sharpest contrast to
+//! dense LU among the Grand Challenge kernels.
+//!
+//! Model: the 5-point Poisson system on a g×g grid, row-block
+//! distributed. Per iteration: one halo exchange (north/south rows),
+//! one SpMV, two dot-product allreduces, three vector updates.
+
+use delta_mesh::{Comm, Kernel, Machine, RunReport};
+
+/// Result of a modelled distributed CG run.
+#[derive(Debug, Clone)]
+pub struct CgSimResult {
+    pub g: usize,
+    pub iterations: usize,
+    pub nodes: usize,
+    pub seconds: f64,
+    pub gflops: f64,
+    /// Fraction of the run the average node spent computing.
+    pub compute_fraction: f64,
+    pub report: RunReport,
+}
+
+/// Run `iters` CG iterations on the g×g Poisson system.
+pub fn run(machine: &Machine, g: usize, iters: usize) -> CgSimResult {
+    let p = machine.config().nodes();
+    assert!(g >= p, "need at least one grid row per node");
+
+    let (_, report) = machine.run(move |node| async move {
+        let world = Comm::world(&node);
+        let me = node.rank();
+        let rows_loc = g / p + usize::from(me < g % p);
+        let n_loc = rows_loc * g;
+        let row_bytes = (g * 8) as u64;
+        let north = (me > 0).then(|| me - 1);
+        let south = (me + 1 < p).then(|| me + 1);
+
+        for it in 0..iters {
+            let tbase = (1 << 20) + (it as u64) * 4;
+            // Halo exchange for the SpMV.
+            if let Some(nb) = north {
+                node.send_virtual(nb, tbase + 1, row_bytes).await;
+            }
+            if let Some(sb) = south {
+                node.send_virtual(sb, tbase, row_bytes).await;
+            }
+            if let Some(nb) = north {
+                node.recv(Some(nb), Some(tbase)).await;
+            }
+            if let Some(sb) = south {
+                node.recv(Some(sb), Some(tbase + 1)).await;
+            }
+            // SpMV: 5-point stencil, ~10 flops/row-point.
+            node.compute(Kernel::Spmv, 10.0 * n_loc as f64).await;
+            // alpha = rs / (p' A p): local dot + allreduce.
+            node.compute(Kernel::Daxpy, 2.0 * n_loc as f64).await;
+            world.allreduce_virtual(8).await;
+            // x += alpha p; r -= alpha Ap; rs' = r·r.
+            node.compute(Kernel::Daxpy, 6.0 * n_loc as f64).await;
+            world.allreduce_virtual(8).await;
+            // p = r + beta p.
+            node.compute(Kernel::Daxpy, 2.0 * n_loc as f64).await;
+        }
+    });
+
+    let seconds = report.elapsed.as_secs_f64();
+    let nnz = 5.0 * (g * g) as f64;
+    let flops = iters as f64 * (2.0 * nnz + 10.0 * (g * g) as f64);
+    CgSimResult {
+        g,
+        iterations: iters,
+        nodes: p,
+        seconds,
+        gflops: flops / seconds / 1e9,
+        compute_fraction: report.compute_fraction,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_mesh::presets;
+
+    #[test]
+    fn runs_and_reports() {
+        let m = Machine::new(presets::delta(2, 4));
+        let r = run(&m, 512, 20);
+        assert!(r.gflops > 0.0);
+        assert!(r.seconds > 0.0);
+        assert_eq!(r.iterations, 20);
+    }
+
+    #[test]
+    fn cg_is_latency_bound_at_scale() {
+        // Fixed total problem, growing machine: the two allreduces per
+        // iteration stop shrinking while the local work does — compute
+        // fraction must fall hard.
+        let g = 1024;
+        let small = run(&Machine::new(presets::delta(2, 2)), g, 10);
+        let large = run(&Machine::new(presets::delta(16, 33)), g, 10);
+        assert!(
+            large.compute_fraction < 0.75 * small.compute_fraction,
+            "large {} vs small {}",
+            large.compute_fraction,
+            small.compute_fraction
+        );
+        assert!(small.compute_fraction > 0.9, "4 nodes: compute bound");
+    }
+
+    #[test]
+    fn strong_scaling_saturates() {
+        // Small enough that 256 nodes get one grid row each — the
+        // allreduce latency then rivals the local work.
+        let g = 256;
+        let t4 = run(&Machine::new(presets::delta(2, 2)), g, 10).seconds;
+        let t256 = run(&Machine::new(presets::delta(16, 16)), g, 10).seconds;
+        let speedup = t4 / t256;
+        assert!(speedup > 1.0, "more nodes still help a little");
+        assert!(
+            speedup < 32.0,
+            "but nowhere near the 64x node ratio (got {speedup:.1}x)"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = Machine::new(presets::delta(2, 3));
+        assert_eq!(
+            run(&m, 256, 5).report.elapsed,
+            run(&m, 256, 5).report.elapsed
+        );
+    }
+}

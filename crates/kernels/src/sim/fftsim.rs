@@ -1,0 +1,98 @@
+//! Distributed 1-D FFT timing model: the transpose (all-to-all)
+//! algorithm, which on a 1992 mesh is *communication dominated* — the
+//! classic ASTA lesson that not every Grand Challenge kernel scales
+//! like dense linear algebra.
+//!
+//! Algorithm modelled: N points over P nodes; local FFT of N/P points,
+//! all-to-all transpose exchanging N/P² points per pair, local FFT and
+//! twiddle again.
+
+use crate::fft::fft_flops;
+use delta_mesh::{Comm, Kernel, Machine, RunReport};
+
+/// Result of a modelled distributed FFT.
+#[derive(Debug, Clone)]
+pub struct FftSimResult {
+    pub n: usize,
+    pub nodes: usize,
+    pub seconds: f64,
+    pub gflops: f64,
+    /// Fraction of the run spent computing (vs communicating).
+    pub compute_fraction: f64,
+    pub report: RunReport,
+}
+
+/// Run the model for an `n`-point complex transform (n a power of two,
+/// n divisible by the node count squared for the clean transpose).
+pub fn run(machine: &Machine, n: usize) -> FftSimResult {
+    let p = machine.config().nodes();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    assert!(n >= p * p, "need n >= P^2 for the transpose algorithm");
+
+    let (_, report) = machine.run(move |node| async move {
+        let world = Comm::world(&node);
+        let local = n / p;
+        // Phase 1: local FFT on n/p points (16 bytes per complex point).
+        node.compute(Kernel::Fft, fft_flops(local)).await;
+        // Phase 2: transpose — each pair exchanges n/p² complex points.
+        let chunk_bytes = (n / (p * p) * 16) as u64;
+        world.alltoall_virtual(chunk_bytes).await;
+        // Phase 3: twiddle multiply + second local FFT.
+        node.compute(Kernel::Fft, 6.0 * local as f64 + fft_flops(local))
+            .await;
+    });
+
+    let seconds = report.elapsed.as_secs_f64();
+    FftSimResult {
+        n,
+        nodes: p,
+        seconds,
+        gflops: fft_flops(n) / seconds / 1e9,
+        compute_fraction: report.compute_fraction,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_mesh::presets;
+
+    #[test]
+    fn runs_and_reports() {
+        let m = Machine::new(presets::delta(2, 2));
+        let r = run(&m, 1 << 14);
+        assert!(r.seconds > 0.0);
+        assert!(r.gflops > 0.0);
+        assert!(r.compute_fraction > 0.0 && r.compute_fraction <= 1.0);
+    }
+
+    #[test]
+    fn fft_is_communication_bound_on_the_delta() {
+        // At high node counts the p−1 pairwise-exchange steps are
+        // latency bound and dominate: compute fraction well under half —
+        // the "not all codes scale" exhibit.
+        let m = Machine::new(presets::delta(8, 8));
+        let r = run(&m, 1 << 13);
+        assert!(
+            r.compute_fraction < 0.5,
+            "compute fraction {}",
+            r.compute_fraction
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = Machine::new(presets::delta(2, 4));
+        let a = run(&m, 1 << 13);
+        let b = run(&m, 1 << 13);
+        assert_eq!(a.report.elapsed, b.report.elapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let m = Machine::new(presets::delta(2, 2));
+        run(&m, 1000);
+    }
+}

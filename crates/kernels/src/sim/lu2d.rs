@@ -1,0 +1,240 @@
+//! Paper-scale LINPACK on the simulated Delta: a 2-D block-cyclic
+//! right-looking LU **timing model**.
+//!
+//! At order 25,000 the matrix is 5 GB — the real Delta held it across
+//! 528 × 16 MB nodes, and this process does not. So this variant moves
+//! *virtual* payloads with the exact communication schedule of the
+//! algorithm (panel broadcasts along process rows, U/swap broadcasts
+//! along process columns, pivot allreduces) and charges the node compute
+//! model for the BLAS kernels (panel = DAXPY-class, update = DGEMM-class).
+//! The achieved GFLOPS that falls out is the quantity the exhibit quotes
+//! ("13 GFLOPS ... OF ORDER 25,000 BY 25,000").
+//!
+//! Fidelity notes (documented substitutions):
+//! * per-column pivot allreduces are charged analytically per panel
+//!   (`nb` × the recursive-doubling latency) plus one real allreduce to
+//!   keep contention in the picture — doing 25,000 real 16-byte
+//!   allreduces would add nothing but host time;
+//! * row swaps are folded into the column-comm broadcast volume, as
+//!   HPL-style long-swap implementations do.
+
+use crate::lu::linpack_flops;
+use delta_mesh::{Comm, Kernel, Machine, MachineConfig, RunReport};
+use des::time::Dur;
+
+/// Result of a modelled run.
+#[derive(Debug, Clone)]
+pub struct Lu2dResult {
+    pub n: usize,
+    pub nb: usize,
+    pub grid: (usize, usize),
+    pub seconds: f64,
+    pub gflops: f64,
+    /// Fraction of machine peak achieved.
+    pub efficiency: f64,
+    pub report: RunReport,
+}
+
+/// Pick a near-square process grid pr×pc = p with pr ≤ pc.
+pub fn choose_grid(p: usize) -> (usize, usize) {
+    let mut best = (1, p);
+    let mut r = 1;
+    while r * r <= p {
+        if p % r == 0 {
+            best = (r, p / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+/// Number of global indices in `[from, n)` whose block `(i/nb) % p == coord`.
+fn local_count(from: usize, n: usize, nb: usize, p: usize, coord: usize) -> usize {
+    if from >= n {
+        return 0;
+    }
+    let mut count = 0;
+    let mut b = from / nb;
+    loop {
+        let blk_start = b * nb;
+        if blk_start >= n {
+            break;
+        }
+        if b % p == coord {
+            let lo = blk_start.max(from);
+            let hi = (blk_start + nb).min(n);
+            count += hi - lo;
+        }
+        b += 1;
+    }
+    count
+}
+
+/// Latency of a `p`-way recursive-doubling allreduce of `bytes` on the
+/// machine, approximated with average-distance hops.
+fn allreduce_latency(cfg: &MachineConfig, p: usize, bytes: u64) -> Dur {
+    if p <= 1 {
+        return Dur::ZERO;
+    }
+    let rounds = (p as f64).log2().ceil() as u64;
+    let avg_hops = (cfg.topology.diameter() / 2).max(1);
+    let per_msg = cfg.net.send_overhead
+        + cfg.net.wire_latency
+        + cfg.net.per_hop * avg_hops as u64
+        + Dur::from_secs_f64(bytes as f64 / cfg.net.bandwidth)
+        + cfg.net.recv_overhead;
+    per_msg * rounds
+}
+
+/// Run the timing model for order `n`, panel width `nb`.
+pub fn run(machine: &Machine, n: usize, nb: usize) -> Lu2dResult {
+    let p = machine.config().nodes();
+    let (pr, pc) = choose_grid(p);
+    let cfg = machine.config().clone();
+    let pivot_cost = allreduce_latency(&cfg, pr, 16);
+
+    let (_, report) = machine.run(move |node| {
+        let pivot_cost = pivot_cost;
+        async move {
+            let rank = node.rank();
+            let my_prow = rank / pc;
+            let my_pcol = rank % pc;
+            // Row communicator: all ranks in my process row.
+            let row_members: Vec<usize> = (0..pc).map(|c| my_prow * pc + c).collect();
+            let row_comm = Comm::new(&node, row_members, 100 + my_prow as u64);
+            // Column communicator: all ranks in my process column.
+            let col_members: Vec<usize> = (0..pr).map(|r| r * pc + my_pcol).collect();
+            let col_comm = Comm::new(&node, col_members, 1000 + my_pcol as u64);
+
+            let steps = n.div_ceil(nb);
+            for k in 0..steps {
+                let kb = nb.min(n - k * nb);
+                let diag = k * nb;
+                let trail = diag + kb;
+                let panel_col = k % pc; // process column owning the panel
+                let panel_row = k % pr; // process row owning the U block
+
+                // Local trailing extents.
+                let m_loc = local_count(trail, n, nb, pr, my_prow); // rows
+                let c_loc = local_count(trail, n, nb, pc, my_pcol); // cols
+                // Panel rows at/below the diagonal block.
+                let m_panel = local_count(diag, n, nb, pr, my_prow);
+
+                // --- Panel factorisation in the owning process column. ---
+                if my_pcol == panel_col {
+                    // Factor kb columns over m_panel local rows. Blocked /
+                    // recursive panel codes sustain BLAS-2.5-like rates,
+                    // which the Panel kernel class models.
+                    let flops = (m_panel as f64) * (kb as f64) * (kb as f64 + 1.0);
+                    node.compute(Kernel::Panel, flops).await;
+                    // kb pivot searches: one real allreduce for contention,
+                    // the rest charged analytically.
+                    col_comm.allreduce_virtual(16).await;
+                    node.delay(pivot_cost * (kb.saturating_sub(1)) as u64).await;
+                    // Row interchanges + U rows move inside the column.
+                    let swap_bytes = (kb * c_loc * 8) as u64;
+                    col_comm.bcast_virtual(panel_row, swap_bytes).await;
+                }
+
+                if trail >= n {
+                    break;
+                }
+
+                // --- Broadcast the L panel along process rows. ---
+                let l_bytes = (m_loc * kb * 8) as u64;
+                row_comm.bcast_virtual(panel_col, l_bytes.max(8)).await;
+
+                // --- Broadcast the U block along process columns. ---
+                let u_bytes = (kb * c_loc * 8) as u64;
+                col_comm.bcast_virtual(panel_row, u_bytes.max(8)).await;
+
+                // --- Trailing update: the DGEMM. ---
+                let flops = 2.0 * m_loc as f64 * c_loc as f64 * kb as f64;
+                if flops > 0.0 {
+                    node.compute(Kernel::Dgemm, flops).await;
+                }
+                // Triangular solve on the U rows (owning row only).
+                if my_prow == panel_row {
+                    let f = (kb * kb) as f64 * c_loc as f64;
+                    node.compute(Kernel::Dtrsm, f).await;
+                }
+            }
+        }
+    });
+
+    let seconds = report.elapsed.as_secs_f64();
+    let gflops = linpack_flops(n) / seconds / 1e9;
+    let peak = machine.config().peak_flops() / 1e9;
+    Lu2dResult {
+        n,
+        nb,
+        grid: (pr, pc),
+        seconds,
+        gflops,
+        efficiency: gflops / peak,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_mesh::presets;
+
+    #[test]
+    fn grid_choice_near_square() {
+        assert_eq!(choose_grid(528), (22, 24)); // nearest-square 528 grid
+        assert_eq!(choose_grid(16), (4, 4));
+        assert_eq!(choose_grid(13), (1, 13));
+        assert_eq!(choose_grid(1), (1, 1));
+    }
+
+    #[test]
+    fn local_count_partitions_everything() {
+        let (n, nb, p) = (1000, 32, 7);
+        for from in [0, 13, 500, 999, 1000] {
+            let total: usize = (0..p).map(|c| local_count(from, n, nb, p, c)).sum();
+            assert_eq!(total, n - from.min(n), "from={from}");
+        }
+    }
+
+    #[test]
+    fn local_count_simple_cases() {
+        // n=8, nb=2, p=2: blocks 0..4 alternate owners.
+        assert_eq!(local_count(0, 8, 2, 2, 0), 4);
+        assert_eq!(local_count(0, 8, 2, 2, 1), 4);
+        assert_eq!(local_count(2, 8, 2, 2, 0), 2);
+        assert_eq!(local_count(3, 8, 2, 2, 1), 3);
+    }
+
+    #[test]
+    fn efficiency_under_one_and_positive() {
+        let m = Machine::new(presets::delta(4, 4));
+        let r = run(&m, 2000, 64);
+        assert!(r.gflops > 0.0);
+        assert!(r.efficiency < 1.0, "eff {}", r.efficiency);
+        assert!(r.efficiency > 0.02, "eff {}", r.efficiency);
+    }
+
+    #[test]
+    fn efficiency_grows_with_problem_size() {
+        let m = Machine::new(presets::delta(4, 4));
+        let small = run(&m, 1000, 64);
+        let large = run(&m, 4000, 64);
+        assert!(
+            large.efficiency > small.efficiency,
+            "{} vs {}",
+            large.efficiency,
+            small.efficiency
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = Machine::new(presets::delta(2, 4));
+        let a = run(&m, 1500, 32);
+        let b = run(&m, 1500, 32);
+        assert_eq!(a.report.elapsed, b.report.elapsed);
+        assert_eq!(a.report.messages, b.report.messages);
+    }
+}

@@ -1,0 +1,298 @@
+//! Distributed shallow-water model on the simulated machine, with real
+//! arithmetic — the NOAA Grand Challenge code as an application team
+//! would have ported it: 1-D row-block decomposition of the periodic
+//! grid, two halo exchanges per leapfrog step, verified **bit-for-bit**
+//! against the host implementation in [`crate::shallow`].
+
+use crate::shallow::{step_flops, Shallow};
+use delta_mesh::{Kernel, Machine, Node, RunReport};
+
+/// Result of a verified distributed shallow-water run.
+#[derive(Debug, Clone)]
+pub struct ShallowSimResult {
+    pub m: usize,
+    pub steps: usize,
+    pub nodes: usize,
+    pub seconds: f64,
+    pub gflops: f64,
+    /// Max |distributed − host| over the final p/u/v fields.
+    pub max_error: f64,
+    pub report: RunReport,
+}
+
+/// Contiguous row block of node `i` out of `p` for an `m`-row grid.
+fn block(m: usize, p: usize, i: usize) -> (usize, usize) {
+    let base = m / p;
+    let rem = m % p;
+    let start = i * base + i.min(rem);
+    (start, base + usize::from(i < rem))
+}
+
+struct Dist {
+    // Fields with one ghost row above and below: (lr + 2) rows × m cols.
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<f64>,
+    uold: Vec<f64>,
+    vold: Vec<f64>,
+    pold: Vec<f64>,
+    cu: Vec<f64>,
+    cv: Vec<f64>,
+    z: Vec<f64>,
+    h: Vec<f64>,
+    dx: f64,
+    dy: f64,
+    alpha: f64,
+    tdt: f64,
+    first: bool,
+}
+
+impl Dist {
+    /// Initialise my rows from the same formulas the host model uses.
+    fn new(m: usize, r0: usize, lr: usize) -> Dist {
+        // Borrow the host initialiser and slice my rows out — identical
+        // bits by construction.
+        let host = Shallow::new(m);
+        let take = |field: &[f64]| {
+            let mut out = vec![0.0; (lr + 2) * m];
+            for li in 0..lr {
+                let gi = r0 + li;
+                out[(li + 1) * m..(li + 2) * m]
+                    .copy_from_slice(&field[gi * m..(gi + 1) * m]);
+            }
+            out
+        };
+        Dist {
+            u: take(&host.u),
+            v: take(&host.v),
+            p: take(&host.p),
+            uold: take(&host.u),
+            vold: take(&host.v),
+            pold: take(&host.p),
+            cu: vec![0.0; (lr + 2) * m],
+            cv: vec![0.0; (lr + 2) * m],
+            z: vec![0.0; (lr + 2) * m],
+            h: vec![0.0; (lr + 2) * m],
+            dx: 1.0e5,
+            dy: 1.0e5,
+            alpha: 0.001,
+            tdt: 90.0,
+            first: true,
+        }
+    }
+}
+
+/// Exchange ghost rows of the given fields with the periodic north and
+/// south neighbours. Interior rows live at local indices 1..=lr; ghost
+/// row 0 mirrors the neighbour's last row, ghost lr+1 its first.
+async fn exchange(node: &Node, fields: &mut [&mut Vec<f64>], m: usize, lr: usize, tbase: u64) {
+    let p = node.nranks();
+    let me = node.rank();
+    let north = (me + p - 1) % p;
+    let south = (me + 1) % p;
+    for (fi, field) in fields.iter().enumerate() {
+        let t = tbase + 2 * fi as u64;
+        // My first interior row goes to the north neighbour's bottom ghost.
+        node.send_f64s(north, t, &field[m..2 * m]).await;
+        // My last interior row goes to the south neighbour's top ghost.
+        node.send_f64s(south, t + 1, &field[lr * m..(lr + 1) * m]).await;
+    }
+    for (fi, field) in fields.iter_mut().enumerate() {
+        let t = tbase + 2 * fi as u64;
+        // Top ghost from the north neighbour's last row.
+        let from_north = node.recv_f64s(Some(north), Some(t + 1)).await;
+        field[..m].copy_from_slice(&from_north);
+        // Bottom ghost from the south neighbour's first row.
+        let from_south = node.recv_f64s(Some(south), Some(t)).await;
+        field[(lr + 1) * m..(lr + 2) * m].copy_from_slice(&from_south);
+    }
+}
+
+async fn shallow_node(node: Node, m: usize, steps: usize) -> Option<Vec<f64>> {
+    let p = node.nranks();
+    let me = node.rank();
+    let (r0, lr) = block(m, p, me);
+    let mut d = Dist::new(m, r0, lr);
+    let fsdx = 4.0 / d.dx;
+    let fsdy = 4.0 / d.dy;
+
+    for step in 0..steps {
+        let tbase = (1u64 << 24) + (step as u64) * 64;
+
+        // Phase 1 needs u, v, p from both neighbours.
+        {
+            let Dist { u, v, p, .. } = &mut d;
+            exchange(&node, &mut [u, v, p], m, lr, tbase).await;
+        }
+        // cu, cv, z, h over my interior rows (ghosts supply im/ip).
+        for li in 1..=lr {
+            for j in 0..m {
+                let jm = (j + m - 1) % m;
+                let jp = (j + 1) % m;
+                let at = |f: &Vec<f64>, i: usize, j: usize| f[i * m + j];
+                let (im, i, ip) = (li - 1, li, li + 1);
+                d.cu[i * m + j] =
+                    0.5 * (at(&d.p, i, j) + at(&d.p, im, j)) * at(&d.u, i, j);
+                d.cv[i * m + j] =
+                    0.5 * (at(&d.p, i, j) + at(&d.p, i, jm)) * at(&d.v, i, j);
+                d.z[i * m + j] = (fsdx * (at(&d.v, i, j) - at(&d.v, im, j))
+                    - fsdy * (at(&d.u, i, j) - at(&d.u, i, jm)))
+                    / (at(&d.p, im, jm) + at(&d.p, i, jm) + at(&d.p, i, j)
+                        + at(&d.p, im, j));
+                d.h[i * m + j] = at(&d.p, i, j)
+                    + 0.25
+                        * (at(&d.u, ip, j) * at(&d.u, ip, j)
+                            + at(&d.u, i, j) * at(&d.u, i, j)
+                            + at(&d.v, i, jp) * at(&d.v, i, jp)
+                            + at(&d.v, i, j) * at(&d.v, i, j));
+            }
+        }
+
+        // Phase 2 needs cu, cv, z, h from both neighbours.
+        {
+            let Dist { cu, cv, z, h, .. } = &mut d;
+            exchange(&node, &mut [cu, cv, z, h], m, lr, tbase + 16).await;
+        }
+        let tdts8 = d.tdt / 8.0;
+        let tdtsdx = d.tdt / d.dx;
+        let tdtsdy = d.tdt / d.dy;
+        let mut unew = vec![0.0; (lr + 2) * m];
+        let mut vnew = vec![0.0; (lr + 2) * m];
+        let mut pnew = vec![0.0; (lr + 2) * m];
+        for li in 1..=lr {
+            for j in 0..m {
+                let jm = (j + m - 1) % m;
+                let jp = (j + 1) % m;
+                let at = |f: &Vec<f64>, i: usize, j: usize| f[i * m + j];
+                let (im, i, ip) = (li - 1, li, li + 1);
+                unew[i * m + j] = at(&d.uold, i, j)
+                    + tdts8
+                        * (at(&d.z, i, jp) + at(&d.z, i, j))
+                        * (at(&d.cv, i, jp)
+                            + at(&d.cv, im, jp)
+                            + at(&d.cv, im, j)
+                            + at(&d.cv, i, j))
+                    - tdtsdx * (at(&d.h, i, j) - at(&d.h, im, j));
+                vnew[i * m + j] = at(&d.vold, i, j)
+                    - tdts8
+                        * (at(&d.z, ip, j) + at(&d.z, i, j))
+                        * (at(&d.cu, ip, j)
+                            + at(&d.cu, i, j)
+                            + at(&d.cu, i, jm)
+                            + at(&d.cu, ip, jm))
+                    - tdtsdy * (at(&d.h, i, j) - at(&d.h, i, jm));
+                pnew[i * m + j] = at(&d.pold, i, j)
+                    - tdtsdx * (at(&d.cu, ip, j) - at(&d.cu, i, j))
+                    - tdtsdy * (at(&d.cv, i, jp) - at(&d.cv, i, j));
+            }
+        }
+
+        // Phase 3: Asselin filter (all local).
+        if d.first {
+            d.first = false;
+            d.tdt += d.tdt;
+            d.uold.copy_from_slice(&d.u);
+            d.vold.copy_from_slice(&d.v);
+            d.pold.copy_from_slice(&d.p);
+        } else {
+            let alpha = d.alpha;
+            for k in m..(lr + 1) * m {
+                d.uold[k] = d.u[k] + alpha * (unew[k] - 2.0 * d.u[k] + d.uold[k]);
+                d.vold[k] = d.v[k] + alpha * (vnew[k] - 2.0 * d.v[k] + d.vold[k]);
+                d.pold[k] = d.p[k] + alpha * (pnew[k] - 2.0 * d.p[k] + d.pold[k]);
+            }
+        }
+        d.u = unew;
+        d.v = vnew;
+        d.p = pnew;
+
+        // Charge the step's arithmetic on this node's share of points.
+        node.compute(Kernel::Stencil, 65.0 * (lr * m) as f64).await;
+    }
+
+    // Gather final p rows to node 0: [r0, lr, p-rows...]
+    let mut mine = Vec::with_capacity(2 + lr * m);
+    mine.push(r0 as f64);
+    mine.push(lr as f64);
+    mine.extend_from_slice(&d.p[m..(lr + 1) * m]);
+    if me != 0 {
+        node.send_f64s(0, 1 << 42, &mine).await;
+        None
+    } else {
+        let mut field = vec![0.0; m * m];
+        let mut place = |blk: &[f64]| {
+            let (br0, blr) = (blk[0] as usize, blk[1] as usize);
+            field[br0 * m..(br0 + blr) * m].copy_from_slice(&blk[2..]);
+        };
+        place(&mine);
+        for _ in 1..p {
+            let msg = node.recv(None, Some(1 << 42)).await;
+            place(msg.payload.as_f64s());
+        }
+        Some(field)
+    }
+}
+
+/// Run `steps` leapfrog steps distributed over the machine and verify
+/// the final height field bit-for-bit against the host model.
+pub fn run_verified(machine: &Machine, m: usize, steps: usize) -> ShallowSimResult {
+    let p = machine.config().nodes();
+    assert!(m >= p, "need at least one grid row per node");
+    let (outs, report) = machine.run(move |node| shallow_node(node, m, steps));
+    let field = outs[0].clone().expect("node 0 gathers");
+
+    let mut host = Shallow::new(m);
+    host.run(steps, false);
+    let max_error = field
+        .iter()
+        .zip(&host.p)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    let seconds = report.elapsed.as_secs_f64();
+    ShallowSimResult {
+        m,
+        steps,
+        nodes: p,
+        seconds,
+        gflops: step_flops(m) * steps as f64 / seconds / 1e9,
+        max_error,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_mesh::presets;
+
+    #[test]
+    fn distributed_matches_host_bitwise() {
+        let m = Machine::new(presets::delta(2, 2));
+        let r = run_verified(&m, 16, 20);
+        assert_eq!(r.max_error, 0.0, "same arithmetic, same bits");
+    }
+
+    #[test]
+    fn uneven_rows_still_exact() {
+        // 18 rows over 5 nodes: blocks of 4,4,4,3,3.
+        let m = Machine::new(presets::delta(1, 5));
+        let r = run_verified(&m, 18, 15);
+        assert_eq!(r.max_error, 0.0);
+    }
+
+    #[test]
+    fn single_node_degenerates() {
+        let m = Machine::new(presets::delta(1, 1));
+        let r = run_verified(&m, 12, 10);
+        assert_eq!(r.max_error, 0.0);
+    }
+
+    #[test]
+    fn time_scales_with_steps() {
+        let m = Machine::new(presets::delta(2, 2));
+        let t10 = run_verified(&m, 16, 10).seconds;
+        let t20 = run_verified(&m, 16, 20).seconds;
+        assert!(t20 > 1.8 * t10 && t20 < 2.2 * t10, "{t10} vs {t20}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Halo-exchange Jacobi on the simulated machine — the CAS/aerosciences
+//! workload as the application software teams ran it: block-decomposed
+//! grid, four-neighbour ghost exchange per sweep, periodic convergence
+//! allreduces.
+//!
+//! `run_verified` moves real `f64` halos and gathers the final field to
+//! node 0, where it is compared point-for-point against the sequential
+//! [`crate::cfd::jacobi`] solver — the distributed code must match the
+//! host code bit-for-bit (same arithmetic order). `run_model` is the
+//! timing-only variant for paper-scale grids.
+
+use crate::cfd::{jacobi_sweep_flops, Grid};
+use delta_mesh::{Comm, Kernel, Machine, Node, Payload, RunReport};
+
+/// Result of a simulated stencil run.
+#[derive(Debug, Clone)]
+pub struct StencilSimResult {
+    pub g: usize,
+    pub iterations: usize,
+    pub grid: (usize, usize),
+    pub seconds: f64,
+    /// Sustained GFLOP rate over the run.
+    pub gflops: f64,
+    /// Max |distributed − sequential| (verified mode only).
+    pub max_error: Option<f64>,
+    pub report: RunReport,
+}
+
+/// Split `g` points into `p` nearly equal contiguous blocks; returns the
+/// (start, len) of block `i`.
+fn block(g: usize, p: usize, i: usize) -> (usize, usize) {
+    let base = g / p;
+    let rem = g % p;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    (start, len)
+}
+
+/// Boundary function shared by the distributed and sequential solves.
+fn bc(x: f64, y: f64) -> f64 {
+    x + y
+}
+
+async fn stencil_node(
+    node: Node,
+    g: usize,
+    iters: usize,
+    pr: usize,
+    pc: usize,
+    real: bool,
+) -> Option<Vec<f64>> {
+    let rank = node.rank();
+    let (my_r, my_c) = (rank / pc, rank % pc);
+    let world = Comm::world(&node);
+    let (r0, lr) = block(g, pr, my_r);
+    let (c0, lc) = block(g, pc, my_c);
+    let h = 1.0 / (g + 1) as f64;
+    let stride = lc + 2;
+
+    // Local field with ghost ring; global interior point (gi, gj) in
+    // 0..g maps to Grid coordinate (gi+1, gj+1), position x = (gi+1)h.
+    let mut cur = vec![0.0f64; (lr + 2) * stride];
+    let mut nxt = vec![0.0f64; (lr + 2) * stride];
+    // Fixed physical-boundary ghosts (Dirichlet).
+    let gx = |gi: isize| (gi + 1) as f64 * h;
+    for li in 0..lr + 2 {
+        let gi = r0 as isize + li as isize - 1;
+        for lj in 0..lc + 2 {
+            let gj = c0 as isize + lj as isize - 1;
+            if gi < 0 || gi >= g as isize || gj < 0 || gj >= g as isize {
+                cur[li * stride + lj] = bc(gx(gi), gx(gj));
+                nxt[li * stride + lj] = bc(gx(gi), gx(gj));
+            }
+        }
+    }
+
+    let north = (my_r > 0).then(|| rank - pc);
+    let south = (my_r + 1 < pr).then(|| rank + pc);
+    let west = (my_c > 0).then(|| rank - 1);
+    let east = (my_c + 1 < pc).then(|| rank + 1);
+
+    for it in 0..iters {
+        let tbase = (it as u64) * 8;
+        // --- Halo exchange (sends first: sends never block). ---
+        let payload_row = |row: &[f64]| {
+            if real {
+                Payload::from_f64s(row)
+            } else {
+                Payload::Virtual(8 * row.len() as u64)
+            }
+        };
+        if let Some(n) = north {
+            let row: Vec<f64> = cur[stride + 1..stride + 1 + lc].to_vec();
+            node.send(n, tbase + 1, payload_row(&row)).await; // my top -> their bottom
+        }
+        if let Some(s) = south {
+            let row: Vec<f64> = cur[lr * stride + 1..lr * stride + 1 + lc].to_vec();
+            node.send(s, tbase, payload_row(&row)).await; // my bottom -> their top
+        }
+        if let Some(w) = west {
+            let col: Vec<f64> = (1..=lr).map(|i| cur[i * stride + 1]).collect();
+            node.send(w, tbase + 3, payload_row(&col)).await;
+        }
+        if let Some(e) = east {
+            let col: Vec<f64> = (1..=lr).map(|i| cur[i * stride + lc]).collect();
+            node.send(e, tbase + 2, payload_row(&col)).await;
+        }
+        if let Some(n) = north {
+            let m = node.recv(Some(n), Some(tbase)).await;
+            if real {
+                let d = m.payload.as_f64s();
+                cur[1..1 + lc].copy_from_slice(d);
+            }
+        }
+        if let Some(s) = south {
+            let m = node.recv(Some(s), Some(tbase + 1)).await;
+            if real {
+                let d = m.payload.as_f64s();
+                cur[(lr + 1) * stride + 1..(lr + 1) * stride + 1 + lc].copy_from_slice(d);
+            }
+        }
+        if let Some(w) = west {
+            let m = node.recv(Some(w), Some(tbase + 2)).await;
+            if real {
+                let d = m.payload.as_f64s();
+                for (i, v) in d.iter().enumerate() {
+                    cur[(i + 1) * stride] = *v;
+                }
+            }
+        }
+        if let Some(e) = east {
+            let m = node.recv(Some(e), Some(tbase + 3)).await;
+            if real {
+                let d = m.payload.as_f64s();
+                for (i, v) in d.iter().enumerate() {
+                    cur[(i + 1) * stride + lc + 1] = *v;
+                }
+            }
+        }
+
+        // --- Sweep (rhs = 0; same arithmetic order as cfd::jacobi). ---
+        if real {
+            for li in 1..=lr {
+                for lj in 1..=lc {
+                    nxt[li * stride + lj] = 0.25
+                        * (cur[(li - 1) * stride + lj]
+                            + cur[(li + 1) * stride + lj]
+                            + cur[li * stride + lj - 1]
+                            + cur[li * stride + lj + 1]);
+                }
+            }
+        }
+        node.compute(Kernel::Stencil, 6.0 * (lr * lc) as f64).await;
+        std::mem::swap(&mut cur, &mut nxt);
+
+        // Periodic convergence check (every 10 sweeps), as real codes do.
+        if it % 10 == 9 {
+            world.allreduce_virtual(8).await;
+        }
+    }
+
+    if !real {
+        return None;
+    }
+    // Gather interior blocks to node 0 (flattened rows with coordinates).
+    let mut mine = Vec::with_capacity(lr * lc + 4);
+    mine.extend_from_slice(&[r0 as f64, lr as f64, c0 as f64, lc as f64]);
+    for li in 1..=lr {
+        mine.extend_from_slice(&cur[li * stride + 1..li * stride + 1 + lc]);
+    }
+    if rank != 0 {
+        node.send_f64s(0, 1 << 41, &mine).await;
+        None
+    } else {
+        let mut field = vec![0.0f64; g * g];
+        let mut place = |blk: &[f64]| {
+            let (br0, blr, bc0, blc) =
+                (blk[0] as usize, blk[1] as usize, blk[2] as usize, blk[3] as usize);
+            for i in 0..blr {
+                for j in 0..blc {
+                    field[(br0 + i) * g + bc0 + j] = blk[4 + i * blc + j];
+                }
+            }
+        };
+        place(&mine);
+        for _ in 1..node.nranks() {
+            let m = node.recv(None, Some(1 << 41)).await;
+            place(m.payload.as_f64s());
+        }
+        Some(field)
+    }
+}
+
+fn finish(
+    g: usize,
+    iters: usize,
+    grid: (usize, usize),
+    report: RunReport,
+    max_error: Option<f64>,
+) -> StencilSimResult {
+    let seconds = report.elapsed.as_secs_f64();
+    StencilSimResult {
+        g,
+        iterations: iters,
+        grid,
+        seconds,
+        gflops: jacobi_sweep_flops(g) * iters as f64 / seconds / 1e9,
+        max_error,
+        report,
+    }
+}
+
+/// Choose the process grid like the LU model does.
+fn grid_for(machine: &Machine) -> (usize, usize) {
+    super::lu2d::choose_grid(machine.config().nodes())
+}
+
+/// Real-data run, verified against the sequential Jacobi solver.
+pub fn run_verified(machine: &Machine, g: usize, iters: usize) -> StencilSimResult {
+    let (pr, pc) = grid_for(machine);
+    let (outs, report) =
+        machine.run(move |node| stencil_node(node, g, iters, pr, pc, true));
+    let field = outs[0].clone().expect("node 0 gathers the field");
+
+    // Sequential reference: same boundary, same iteration count.
+    let mut u = Grid::new(g);
+    u.set_boundary(bc);
+    let rhs = Grid::new(g);
+    crate::cfd::jacobi(&mut u, &rhs, 0.0, iters, false);
+    let mut err = 0.0f64;
+    for i in 0..g {
+        for j in 0..g {
+            err = err.max((field[i * g + j] - u.at(i + 1, j + 1)).abs());
+        }
+    }
+    finish(g, iters, (pr, pc), report, Some(err))
+}
+
+/// Timing-only run for paper-scale grids.
+pub fn run_model(machine: &Machine, g: usize, iters: usize) -> StencilSimResult {
+    let (pr, pc) = grid_for(machine);
+    let (_, report) = machine.run(move |node| stencil_node(node, g, iters, pr, pc, false));
+    finish(g, iters, (pr, pc), report, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_mesh::presets;
+
+    #[test]
+    fn blocks_partition_exactly() {
+        for (g, p) in [(10, 3), (16, 4), (7, 7), (100, 6), (5, 8)] {
+            let mut total = 0;
+            let mut next = 0;
+            for i in 0..p {
+                let (s, l) = block(g, p, i);
+                assert_eq!(s, next, "contiguous");
+                next = s + l;
+                total += l;
+            }
+            assert_eq!(total, g, "g={g} p={p}");
+        }
+    }
+
+    #[test]
+    fn distributed_matches_sequential_bitwise() {
+        let m = Machine::new(presets::delta(2, 3));
+        let r = run_verified(&m, 20, 40);
+        assert_eq!(r.max_error, Some(0.0), "same arithmetic order expected");
+    }
+
+    #[test]
+    fn verified_on_single_node() {
+        let m = Machine::new(presets::delta(1, 1));
+        let r = run_verified(&m, 12, 25);
+        assert_eq!(r.max_error, Some(0.0));
+    }
+
+    #[test]
+    fn uneven_grid_split_still_correct() {
+        // 17 is not divisible by the 2x3 process grid.
+        let m = Machine::new(presets::delta(2, 3));
+        let r = run_verified(&m, 17, 30);
+        assert_eq!(r.max_error, Some(0.0));
+    }
+
+    #[test]
+    fn model_time_scales_superlinearly_down_with_nodes() {
+        let g = 512;
+        let iters = 20;
+        let t4 = run_model(&Machine::new(presets::delta(2, 2)), g, iters).seconds;
+        let t16 = run_model(&Machine::new(presets::delta(4, 4)), g, iters).seconds;
+        assert!(t16 < t4, "16 nodes {t16}s vs 4 nodes {t4}s");
+        // But not perfectly: halo overheads eat some of the 4x.
+        assert!(t16 > t4 / 4.0, "speedup beyond linear is impossible here");
+    }
+
+    #[test]
+    fn model_gflops_positive() {
+        let m = Machine::new(presets::delta(4, 4));
+        let r = run_model(&m, 1024, 10);
+        assert!(r.gflops > 0.0);
+        assert!(r.report.messages > 0);
+    }
+}

@@ -1,0 +1,926 @@
+//! Communicators and collective operations, built entirely on the
+//! simulator's tagged point-to-point primitives — the way the Delta's NX
+//! library and the early ASTA message-passing toolkits did it.
+//!
+//! Algorithms (all standard early-90s choices):
+//! * barrier — dissemination, ⌈log₂ p⌉ rounds;
+//! * broadcast / reduce — binomial tree;
+//! * allreduce — recursive doubling with non-power-of-two fold;
+//! * allgather — ring (bandwidth-optimal for equal blocks);
+//! * alltoall — p−1 pairwise exchange steps;
+//! * gather / scatter — linear to/from the root.
+//!
+//! Every data collective has a `*_virtual` twin that moves timing-only
+//! byte counts for paper-scale modelling.
+
+use crate::machine::Kernel;
+use crate::sim::{Node, Payload};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// High bit marks collective-space tags, second bit comm-p2p tags, so user
+/// tags on the raw `Node` API can never collide with comm traffic.
+const COLL_BIT: u64 = 1 << 63;
+const P2P_BIT: u64 = 1 << 62;
+
+/// A group of ranks with its own tag space, like an MPI communicator.
+///
+/// Every member must construct the `Comm` with the same `ctx` id and the
+/// same member list, and must call collectives in the same order.
+pub struct Comm {
+    node: Node,
+    members: Rc<[usize]>,
+    me: usize,
+    ctx: u64,
+    seq: Cell<u64>,
+}
+
+impl Comm {
+    /// The world communicator: all ranks, ctx 0.
+    pub fn world(node: &Node) -> Comm {
+        let members: Vec<usize> = (0..node.nranks()).collect();
+        Comm::new(node, members, 0)
+    }
+
+    /// Build a communicator over `members` (global ranks, strictly
+    /// ascending not required but order defines member indices).
+    /// The calling node must be a member.
+    pub fn new(node: &Node, members: Vec<usize>, ctx: u64) -> Comm {
+        assert!(ctx < (1 << 30), "ctx too large");
+        let me = members
+            .iter()
+            .position(|&r| r == node.rank())
+            .unwrap_or_else(|| panic!("rank {} not in comm {ctx}", node.rank()));
+        Comm {
+            node: node.clone(),
+            members: Rc::from(members),
+            me,
+            ctx,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This node's index within the communicator.
+    #[inline]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Global rank of member `idx`.
+    #[inline]
+    pub fn global(&self, idx: usize) -> usize {
+        self.members[idx]
+    }
+
+    /// The underlying node handle.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    fn p2p_tag(&self, tag: u64) -> u64 {
+        assert!(tag < (1 << 32), "comm p2p tag too large");
+        P2P_BIT | (self.ctx << 32) | tag
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        COLL_BIT | (self.ctx << 32) | (s & 0xFFFF_FFFF)
+    }
+
+    /// Tagged send to member `to` (member index, not global rank).
+    pub async fn send(&self, to: usize, tag: u64, payload: Payload) {
+        self.node
+            .send(self.members[to], self.p2p_tag(tag), payload)
+            .await;
+    }
+
+    pub async fn send_f64s(&self, to: usize, tag: u64, data: &[f64]) {
+        self.send(to, tag, Payload::from_f64s(data)).await;
+    }
+
+    /// Tagged receive from member `from` (or any member with `None`).
+    pub async fn recv(&self, from: Option<usize>, tag: u64) -> Payload {
+        let src = from.map(|i| self.members[i]);
+        self.node.recv(src, Some(self.p2p_tag(tag))).await.payload
+    }
+
+    pub async fn recv_f64s(&self, from: Option<usize>, tag: u64) -> Rc<[f64]> {
+        self.recv(from, tag).await.into_f64s()
+    }
+
+    // ----- barrier ---------------------------------------------------------
+
+    /// Dissemination barrier: no member returns until all have entered.
+    pub async fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let tag = self.next_coll_tag();
+        let mut dist = 1;
+        while dist < p {
+            let to = (self.me + dist) % p;
+            let from = (self.me + p - dist) % p;
+            self.node
+                .send(self.members[to], tag + dist as u64, Payload::Virtual(8))
+                .await;
+            self.node
+                .recv(Some(self.members[from]), Some(tag + dist as u64))
+                .await;
+            dist <<= 1;
+        }
+        // Reserve every per-round tag offset we may have consumed
+        // (offsets are powers of two below p).
+        self.seq.set(self.seq.get() + p as u64 + 1);
+    }
+
+    // ----- broadcast -------------------------------------------------------
+
+    /// Binomial-tree broadcast. The root passes `Some(data)`; everyone
+    /// receives the payload.
+    pub async fn bcast(&self, root: usize, data: Option<Rc<[f64]>>) -> Rc<[f64]> {
+        let out = self
+            .bcast_payload(root, data.map(Payload::F64))
+            .await;
+        out.into_f64s()
+    }
+
+    /// Timing-only broadcast of `bytes`. Long messages use the
+    /// scatter + ring-allgather (van de Geijn) algorithm, whose cost is
+    /// ~2·bytes/bw instead of the binomial tree's log(p)·bytes/bw —
+    /// the broadcast the era's LINPACK codes actually shipped.
+    pub async fn bcast_virtual(&self, root: usize, bytes: u64) {
+        const LONG: u64 = 32 * 1024;
+        if bytes >= LONG && self.size() > 2 {
+            self.bcast_virtual_vdg(root, bytes).await;
+        } else {
+            self.bcast_payload(root, Some(Payload::Virtual(bytes)))
+                .await;
+        }
+    }
+
+    /// Scatter + ring-allgather broadcast, timing-only.
+    async fn bcast_virtual_vdg(&self, root: usize, bytes: u64) {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        let relative = (self.me + p - root) % p;
+
+        // Phase 1: binomial scatter. At distance `mask`, the parent hands
+        // its child the child's subtree share of the message.
+        let mut recv_mask = 1usize;
+        while recv_mask < p {
+            if relative & recv_mask != 0 {
+                let parent = (relative - recv_mask + root) % p;
+                self.node
+                    .recv(Some(self.members[parent]), Some(tag + recv_mask as u64))
+                    .await;
+                break;
+            }
+            recv_mask <<= 1;
+        }
+        let mut mask = if recv_mask >= p {
+            // Root: start from the top of the tree.
+            p.next_power_of_two() / 2
+        } else {
+            recv_mask / 2
+        };
+        while mask > 0 {
+            if relative & mask == 0 && relative + mask < p {
+                let child = (relative + mask + root) % p;
+                // Subtree under the child has min(mask, p - relative - mask) ranks.
+                let subtree = mask.min(p - relative - mask) as u64;
+                self.node
+                    .send(
+                        self.members[child],
+                        tag + mask as u64,
+                        Payload::Virtual((bytes * subtree / p as u64).max(1)),
+                    )
+                    .await;
+            }
+            mask >>= 1;
+        }
+
+        // Phase 2: ring allgather of the p chunks.
+        let chunk = (bytes / p as u64).max(1);
+        let right = (self.me + 1) % p;
+        let left = (self.me + p - 1) % p;
+        for k in 0..p - 1 {
+            self.node
+                .send(
+                    self.members[right],
+                    tag + (p + k) as u64,
+                    Payload::Virtual(chunk),
+                )
+                .await;
+            self.node
+                .recv(Some(self.members[left]), Some(tag + (p + k) as u64))
+                .await;
+        }
+        // Reserve the tag offsets consumed (scatter: < p; ring: p..2p-1).
+        self.seq.set(self.seq.get() + 2 * p as u64 + 1);
+    }
+
+    async fn bcast_payload(&self, root: usize, data: Option<Payload>) -> Payload {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        let relative = (self.me + p - root) % p;
+        let mut payload = data;
+        if p > 1 {
+            // Receive from parent (if not root).
+            let mut mask = 1usize;
+            while mask < p {
+                if relative & mask != 0 {
+                    let parent = (relative - mask + root) % p;
+                    let msg = self
+                        .node
+                        .recv(Some(self.members[parent]), Some(tag))
+                        .await;
+                    payload = Some(msg.payload);
+                    break;
+                }
+                mask <<= 1;
+            }
+            // Forward to children.
+            mask >>= 1;
+            while mask > 0 {
+                if relative & mask == 0 && relative + mask < p {
+                    let child = (relative + mask + root) % p;
+                    let pl = payload
+                        .as_ref()
+                        .expect("bcast root must supply data")
+                        .clone();
+                    self.node.send(self.members[child], tag, pl).await;
+                }
+                mask >>= 1;
+            }
+        }
+        payload.expect("bcast root must supply data")
+    }
+
+    // ----- reduce ----------------------------------------------------------
+
+    /// Binomial-tree sum-reduce to `root`; returns `Some(total)` at the
+    /// root, `None` elsewhere. All contributions must be equal length.
+    pub async fn reduce_sum(&self, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        let relative = (self.me + p - root) % p;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let parent = (relative - mask + root) % p;
+                self.node
+                    .send(self.members[parent], tag, Payload::from_f64s(&acc))
+                    .await;
+                return None;
+            }
+            let child = relative + mask;
+            if child < p {
+                let msg = self
+                    .node
+                    .recv(Some(self.members[(child + root) % p]), Some(tag))
+                    .await;
+                let other = msg.payload.into_f64s();
+                assert_eq!(other.len(), acc.len(), "reduce length mismatch");
+                // Reduction arithmetic costs time too.
+                self.node.compute(Kernel::Daxpy, acc.len() as f64).await;
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    *a += b;
+                }
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    // ----- allreduce (recursive doubling) -----------------------------------
+
+    /// Element-wise sum allreduce.
+    pub async fn allreduce_sum(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce_with(data.to_vec(), |a, b| {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += y;
+            }
+        })
+        .await
+    }
+
+    /// Max-with-location allreduce (ties go to the lower location), the
+    /// primitive LINPACK pivot search is built on.
+    pub async fn allreduce_max_loc(&self, value: f64, loc: u64) -> (f64, u64) {
+        let out = self
+            .allreduce_with(vec![value, loc as f64], |a, b| {
+                let better = b[0] > a[0] || (b[0] == a[0] && b[1] < a[1]);
+                if better {
+                    a[0] = b[0];
+                    a[1] = b[1];
+                }
+            })
+            .await;
+        (out[0], out[1] as u64)
+    }
+
+    /// Generic commutative-associative allreduce via recursive doubling,
+    /// with the MPICH-style fold for non-power-of-two sizes.
+    pub async fn allreduce_with(
+        &self,
+        mut data: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Vec<f64> {
+        let p = self.size();
+        if p == 1 {
+            return data;
+        }
+        let tag = self.next_coll_tag();
+        let pof2 = 1usize << p.ilog2();
+        let rem = p - pof2;
+
+        // Fold the remainder: first 2*rem ranks pair up; odd ranks send
+        // their data to the even neighbour and sit out.
+        let newrank: isize = if self.me < 2 * rem {
+            if self.me % 2 == 1 {
+                self.node
+                    .send(self.members[self.me - 1], tag, Payload::from_f64s(&data))
+                    .await;
+                -1
+            } else {
+                let msg = self
+                    .node
+                    .recv(Some(self.members[self.me + 1]), Some(tag))
+                    .await;
+                self.node.compute(Kernel::Daxpy, data.len() as f64).await;
+                combine(&mut data, &msg.payload.into_f64s());
+                (self.me / 2) as isize
+            }
+        } else {
+            (self.me - rem) as isize
+        };
+
+        // Recursive doubling among the pof2 participants.
+        if let Ok(nr) = usize::try_from(newrank) {
+            let to_real = |v: usize| if v < rem { 2 * v } else { v + rem };
+            let mut mask = 1usize;
+            while mask < pof2 {
+                let partner = to_real(nr ^ mask);
+                self.node
+                    .send(
+                        self.members[partner],
+                        tag + mask as u64,
+                        Payload::from_f64s(&data),
+                    )
+                    .await;
+                let msg = self
+                    .node
+                    .recv(Some(self.members[partner]), Some(tag + mask as u64))
+                    .await;
+                self.node.compute(Kernel::Daxpy, data.len() as f64).await;
+                combine(&mut data, &msg.payload.into_f64s());
+                mask <<= 1;
+            }
+        }
+
+        // Unfold: even partners push the result back to the odd ranks.
+        if self.me < 2 * rem {
+            if self.me % 2 == 0 {
+                self.node
+                    .send(self.members[self.me + 1], tag, Payload::from_f64s(&data))
+                    .await;
+            } else {
+                let msg = self
+                    .node
+                    .recv(Some(self.members[self.me - 1]), Some(tag))
+                    .await;
+                data = msg.payload.into_f64s().to_vec();
+            }
+        }
+        // Reserve every per-round tag offset we may have consumed.
+        self.seq.set(self.seq.get() + p as u64 + 1);
+        data
+    }
+
+    /// Timing-only allreduce of `bytes` per message (recursive-doubling
+    /// shape, power-of-two portion only — adequate for cost modelling).
+    pub async fn allreduce_virtual(&self, bytes: u64) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let tag = self.next_coll_tag();
+        let pof2 = 1usize << p.ilog2();
+        let rem = p - pof2;
+        let newrank: isize = if self.me < 2 * rem {
+            if self.me % 2 == 1 {
+                self.node
+                    .send(self.members[self.me - 1], tag, Payload::Virtual(bytes))
+                    .await;
+                -1
+            } else {
+                self.node
+                    .recv(Some(self.members[self.me + 1]), Some(tag))
+                    .await;
+                (self.me / 2) as isize
+            }
+        } else {
+            (self.me - rem) as isize
+        };
+        if let Ok(nr) = usize::try_from(newrank) {
+            let to_real = |v: usize| if v < rem { 2 * v } else { v + rem };
+            let mut mask = 1usize;
+            while mask < pof2 {
+                let partner = to_real(nr ^ mask);
+                self.node
+                    .send(self.members[partner], tag + mask as u64, Payload::Virtual(bytes))
+                    .await;
+                self.node
+                    .recv(Some(self.members[partner]), Some(tag + mask as u64))
+                    .await;
+                mask <<= 1;
+            }
+        }
+        if self.me < 2 * rem {
+            if self.me % 2 == 0 {
+                self.node
+                    .send(self.members[self.me + 1], tag, Payload::Virtual(bytes))
+                    .await;
+            } else {
+                self.node
+                    .recv(Some(self.members[self.me - 1]), Some(tag))
+                    .await;
+            }
+        }
+        self.seq.set(self.seq.get() + p as u64 + 1);
+    }
+
+    /// Element-wise min allreduce.
+    pub async fn allreduce_min(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce_with(data.to_vec(), |a, b| {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                if *y < *x {
+                    *x = *y;
+                }
+            }
+        })
+        .await
+    }
+
+    /// Element-wise max allreduce.
+    pub async fn allreduce_max(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce_with(data.to_vec(), |a, b| {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                if *y > *x {
+                    *x = *y;
+                }
+            }
+        })
+        .await
+    }
+
+    /// Inclusive prefix-sum scan in member order: member `i` receives
+    /// Σ_{j ≤ i} data_j. Linear chain — the scan the NX toolkits shipped.
+    pub async fn scan_sum(&self, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        let mut acc = data.to_vec();
+        if self.me > 0 {
+            let msg = self
+                .node
+                .recv(Some(self.members[self.me - 1]), Some(tag))
+                .await;
+            let prev = msg.payload.into_f64s();
+            assert_eq!(prev.len(), acc.len(), "scan length mismatch");
+            self.node.compute(Kernel::Daxpy, acc.len() as f64).await;
+            for (a, b) in acc.iter_mut().zip(prev.iter()) {
+                *a += b;
+            }
+        }
+        if self.me + 1 < p {
+            self.node
+                .send(self.members[self.me + 1], tag, Payload::from_f64s(&acc))
+                .await;
+        }
+        acc
+    }
+
+    // ----- gather / allgather / scatter / alltoall --------------------------
+
+    /// Linear gather of equal-length blocks to `root`, concatenated in
+    /// member order.
+    pub async fn gather(&self, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if self.me != root {
+            self.node
+                .send(self.members[root], tag + self.me as u64, Payload::from_f64s(data))
+                .await;
+            self.seq.set(self.seq.get() + p as u64);
+            return None;
+        }
+        let mut out = vec![0.0; data.len() * p];
+        out[root * data.len()..(root + 1) * data.len()].copy_from_slice(data);
+        for i in 0..p {
+            if i == root {
+                continue;
+            }
+            let msg = self
+                .node
+                .recv(Some(self.members[i]), Some(tag + i as u64))
+                .await;
+            let block = msg.payload.into_f64s();
+            assert_eq!(block.len(), data.len(), "gather length mismatch");
+            out[i * data.len()..(i + 1) * data.len()].copy_from_slice(&block);
+        }
+        self.seq.set(self.seq.get() + p as u64);
+        Some(out)
+    }
+
+    /// Ring allgather of equal-length blocks; result concatenated in
+    /// member order on every member.
+    pub async fn allgather(&self, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let blk = data.len();
+        let tag = self.next_coll_tag();
+        let mut out = vec![0.0; blk * p];
+        out[self.me * blk..(self.me + 1) * blk].copy_from_slice(data);
+        let right = (self.me + 1) % p;
+        let left = (self.me + p - 1) % p;
+        // Step k: forward the block that originated k hops to the left.
+        let mut have = self.me;
+        for k in 0..p.saturating_sub(1) {
+            let send_block = out[have * blk..(have + 1) * blk].to_vec();
+            self.node
+                .send(
+                    self.members[right],
+                    tag + k as u64,
+                    Payload::from_f64s(&send_block),
+                )
+                .await;
+            let msg = self
+                .node
+                .recv(Some(self.members[left]), Some(tag + k as u64))
+                .await;
+            let incoming = (self.me + p - 1 - k) % p;
+            let block = msg.payload.into_f64s();
+            assert_eq!(block.len(), blk, "allgather length mismatch");
+            out[incoming * blk..(incoming + 1) * blk].copy_from_slice(&block);
+            have = incoming;
+        }
+        self.seq.set(self.seq.get() + p as u64);
+        out
+    }
+
+    /// Scatter equal-length chunks from `root`; member `i` gets chunk `i`.
+    pub async fn scatter(&self, root: usize, chunks: Option<&[Vec<f64>]>) -> Vec<f64> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        let mine = if self.me == root {
+            let chunks = chunks.expect("scatter root must supply chunks");
+            assert_eq!(chunks.len(), p, "scatter needs one chunk per member");
+            for (i, c) in chunks.iter().enumerate() {
+                if i != root {
+                    self.node
+                        .send(self.members[i], tag + i as u64, Payload::from_f64s(c))
+                        .await;
+                }
+            }
+            chunks[root].clone()
+        } else {
+            let msg = self
+                .node
+                .recv(Some(self.members[root]), Some(tag + self.me as u64))
+                .await;
+            msg.payload.into_f64s().to_vec()
+        };
+        self.seq.set(self.seq.get() + p as u64);
+        mine
+    }
+
+    /// Pairwise-exchange all-to-all: member `i`'s chunk `j` ends up as
+    /// member `j`'s result chunk `i`. Chunks may have differing lengths.
+    pub async fn alltoall(&self, chunks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        assert_eq!(chunks.len(), p, "alltoall needs one chunk per member");
+        let tag = self.next_coll_tag();
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+        out[self.me] = chunks[self.me].clone();
+        for k in 1..p {
+            let to = (self.me + k) % p;
+            let from = (self.me + p - k) % p;
+            self.node
+                .send(
+                    self.members[to],
+                    tag + k as u64,
+                    Payload::from_f64s(&chunks[to]),
+                )
+                .await;
+            let msg = self
+                .node
+                .recv(Some(self.members[from]), Some(tag + k as u64))
+                .await;
+            out[from] = msg.payload.into_f64s().to_vec();
+        }
+        self.seq.set(self.seq.get() + p as u64);
+        out
+    }
+
+    /// Timing-only all-to-all of `bytes` per pair.
+    pub async fn alltoall_virtual(&self, bytes: u64) {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        for k in 1..p {
+            let to = (self.me + k) % p;
+            let from = (self.me + p - k) % p;
+            self.node
+                .send(self.members[to], tag + k as u64, Payload::Virtual(bytes))
+                .await;
+            self.node
+                .recv(Some(self.members[from]), Some(tag + k as u64))
+                .await;
+        }
+        self.seq.set(self.seq.get() + p as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::presets;
+    use crate::sim::Machine;
+    use des::time::Dur;
+
+    /// Run `f` on a 3x3 Delta (9 ranks — deliberately not a power of two).
+    fn on9<T: 'static>(
+        f: impl Fn(Comm) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>> + 'static,
+    ) -> Vec<T> {
+        let m = Machine::new(presets::delta(3, 3));
+        let (out, _) = m.run(move |node| {
+            let fut = f(Comm::world(&node));
+            async move { fut.await }
+        });
+        out
+    }
+
+    #[test]
+    fn bcast_reaches_everyone() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let data = if comm.me() == 4 {
+                    Some(Rc::from(vec![1.0, 2.0, 3.0]))
+                } else {
+                    None
+                };
+                comm.bcast(4, data).await.to_vec()
+            })
+        });
+        for v in out {
+            assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_totals_at_root() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let me = comm.me() as f64;
+                comm.reduce_sum(2, &[me, 2.0 * me]).await
+            })
+        });
+        for (i, v) in out.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(v.as_ref().unwrap(), &vec![36.0, 72.0]);
+            } else {
+                assert!(v.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_everywhere() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let me = comm.me() as f64;
+                comm.allreduce_sum(&[1.0, me]).await
+            })
+        });
+        for v in out {
+            assert_eq!(v, vec![9.0, 36.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_loc_picks_max_and_lowest_tie() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                // Ranks 3 and 7 tie for the max; lowest loc (3) must win.
+                let v = if comm.me() == 3 || comm.me() == 7 {
+                    10.0
+                } else {
+                    comm.me() as f64
+                };
+                comm.allreduce_max_loc(v, comm.me() as u64).await
+            })
+        });
+        for (val, loc) in out {
+            assert_eq!(val, 10.0);
+            assert_eq!(loc, 3);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let me = comm.me() as f64;
+                let mn = comm.allreduce_min(&[me, -me]).await;
+                let mx = comm.allreduce_max(&[me, -me]).await;
+                (mn, mx)
+            })
+        });
+        for (mn, mx) in out {
+            assert_eq!(mn, vec![0.0, -8.0]);
+            assert_eq!(mx, vec![8.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn scan_is_inclusive_prefix_sum() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let me = comm.me() as f64;
+                comm.scan_sum(&[1.0, me]).await
+            })
+        });
+        for (i, v) in out.iter().enumerate() {
+            let tri = (i * (i + 1) / 2) as f64;
+            assert_eq!(v, &vec![(i + 1) as f64, tri], "member {i}");
+        }
+    }
+
+    #[test]
+    fn gather_concatenates_in_order() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let me = comm.me() as f64;
+                comm.gather(0, &[me, -me]).await
+            })
+        });
+        let at_root = out[0].as_ref().unwrap();
+        let expect: Vec<f64> = (0..9).flat_map(|i| [i as f64, -(i as f64)]).collect();
+        assert_eq!(at_root, &expect);
+        assert!(out[1..].iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn allgather_ring_everywhere() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let me = comm.me() as f64;
+                comm.allgather(&[me * 100.0]).await
+            })
+        });
+        let expect: Vec<f64> = (0..9).map(|i| i as f64 * 100.0).collect();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let chunks: Option<Vec<Vec<f64>>> = (comm.me() == 1).then(|| {
+                    (0..comm.size()).map(|i| vec![i as f64; 2]).collect()
+                });
+                comm.scatter(1, chunks.as_deref()).await
+            })
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![i as f64; 2]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = on9(|comm| {
+            Box::pin(async move {
+                let me = comm.me() as f64;
+                // Chunk j from member i holds [i, j].
+                let chunks: Vec<Vec<f64>> =
+                    (0..comm.size()).map(|j| vec![me, j as f64]).collect();
+                comm.alltoall(chunks).await
+            })
+        });
+        for (j, got) in out.iter().enumerate() {
+            for (i, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![i as f64, j as f64], "member {j} chunk {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_blocks_until_all_enter() {
+        let m = Machine::new(presets::delta(3, 3));
+        let (out, _) = m.run(|node| async move {
+            let comm = Comm::world(&node);
+            // Stagger entries by up to 80ms.
+            node.delay(Dur::from_millis(10 * node.rank() as u64)).await;
+            let entered = node.now();
+            comm.barrier().await;
+            (entered, node.now())
+        });
+        let last_entry = out.iter().map(|(e, _)| *e).max().unwrap();
+        for (_, exit) in &out {
+            assert!(*exit >= last_entry, "exit {exit} before last entry {last_entry}");
+        }
+    }
+
+    #[test]
+    fn subcommunicators_are_isolated() {
+        // Two row comms of a 2x4 machine do independent allreduces.
+        let m = Machine::new(presets::delta(2, 4));
+        let (out, _) = m.run(|node| async move {
+            let row = node.rank() / 4;
+            let members: Vec<usize> = (0..4).map(|c| row * 4 + c).collect();
+            let comm = Comm::new(&node, members, 1 + row as u64);
+            comm.allreduce_sum(&[node.rank() as f64]).await[0]
+        });
+        assert!(out[..4].iter().all(|&v| v == 6.0), "{out:?}"); // 0+1+2+3
+        assert!(out[4..].iter().all(|&v| v == 22.0), "{out:?}"); // 4+5+6+7
+    }
+
+    #[test]
+    fn long_broadcast_beats_binomial() {
+        // The van de Geijn broadcast must be materially faster than the
+        // tree for long messages on many nodes.
+        let elapsed = |force_tree: bool| {
+            let m = Machine::new(presets::delta(4, 4));
+            let (_, r) = m.run(move |node| async move {
+                let comm = Comm::world(&node);
+                let bytes = 1 << 20;
+                if force_tree {
+                    comm.bcast_payload(0, Some(Payload::Virtual(bytes))).await;
+                } else {
+                    comm.bcast_virtual_vdg(0, bytes).await;
+                }
+            });
+            r.elapsed
+        };
+        let vdg = elapsed(false);
+        let tree = elapsed(true);
+        assert!(
+            vdg.as_secs_f64() < 0.7 * tree.as_secs_f64(),
+            "vdg {vdg} vs tree {tree}"
+        );
+    }
+
+    #[test]
+    fn vdg_runs_on_odd_sizes_and_roots() {
+        for (r, c) in [(1, 3), (3, 3), (2, 4), (1, 7)] {
+            let m = Machine::new(presets::delta(r, c));
+            let (_, report) = m.run(move |node| async move {
+                let comm = Comm::world(&node);
+                let root = comm.size() - 1;
+                comm.bcast_virtual(root, 1 << 20).await;
+                // A second collective must not collide with vdg's tags.
+                comm.barrier().await;
+            });
+            assert!(report.messages > 0, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn virtual_collectives_advance_time() {
+        let m = Machine::new(presets::delta(2, 4));
+        let (_, report) = m.run(|node| async move {
+            let comm = Comm::world(&node);
+            comm.bcast_virtual(0, 1 << 20).await;
+            comm.allreduce_virtual(64).await;
+            comm.alltoall_virtual(4096).await;
+        });
+        assert!(report.elapsed > Dur::ZERO);
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn power_of_two_and_odd_sizes_agree() {
+        for (r, c) in [(1, 2), (1, 3), (2, 2), (1, 5), (2, 3), (2, 4), (3, 3)] {
+            let m = Machine::new(presets::delta(r, c));
+            let p = r * c;
+            let (out, _) = m.run(|node| async move {
+                let comm = Comm::world(&node);
+                comm.allreduce_sum(&[1.0]).await[0]
+            });
+            assert!(
+                out.iter().all(|&v| v == p as f64),
+                "p={p}: {out:?}"
+            );
+        }
+    }
+}

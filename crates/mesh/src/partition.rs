@@ -1,0 +1,256 @@
+//! Rectangular sub-mesh allocation — how the Concurrent Supercomputer
+//! Consortium actually shared the Delta ("ACQUIRE AND UTILIZE").
+//!
+//! The Delta's NX space-shared the 16×33 mesh: each job got a contiguous
+//! rectangular sub-mesh. Allocation is the classic early-90s problem
+//! (first-fit frames, fragmentation); this module provides the occupancy
+//! grid, a first-fit allocator with optional rotation, and fragmentation
+//! diagnostics.
+
+use crate::topology::Topology;
+
+/// A contiguous rectangular region of the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubMesh {
+    pub row: usize,
+    pub col: usize,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl SubMesh {
+    pub fn nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Global node ids covered, row-major.
+    pub fn node_ids(&self, mesh_cols: usize) -> impl Iterator<Item = usize> + '_ {
+        let (r0, c0, rs, cs) = (self.row, self.col, self.rows, self.cols);
+        (0..rs).flat_map(move |r| (0..cs).map(move |c| (r0 + r) * mesh_cols + c0 + c))
+    }
+
+    pub fn overlaps(&self, other: &SubMesh) -> bool {
+        self.row < other.row + other.rows
+            && other.row < self.row + self.rows
+            && self.col < other.col + other.cols
+            && other.col < self.col + self.cols
+    }
+}
+
+/// Occupancy state of a 2-D mesh being space-shared.
+#[derive(Debug, Clone)]
+pub struct MeshSpace {
+    rows: usize,
+    cols: usize,
+    busy: Vec<bool>,
+    allocated: Vec<SubMesh>,
+}
+
+impl MeshSpace {
+    pub fn new(rows: usize, cols: usize) -> MeshSpace {
+        MeshSpace {
+            rows,
+            cols,
+            busy: vec![false; rows * cols],
+            allocated: Vec::new(),
+        }
+    }
+
+    /// Build from a machine topology (must be a mesh).
+    pub fn for_topology(topo: &Topology) -> MeshSpace {
+        match *topo {
+            Topology::Mesh2D { rows, cols } => MeshSpace::new(rows, cols),
+            _ => panic!("space sharing needs a 2-D mesh"),
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn total_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    pub fn free_nodes(&self) -> usize {
+        self.busy.iter().filter(|&&b| !b).count()
+    }
+
+    pub fn allocations(&self) -> &[SubMesh] {
+        &self.allocated
+    }
+
+    fn fits_at(&self, row: usize, col: usize, r: usize, c: usize) -> bool {
+        if row + r > self.rows || col + c > self.cols {
+            return false;
+        }
+        for i in row..row + r {
+            for j in col..col + c {
+                if self.busy[i * self.cols + j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn mark(&mut self, sm: &SubMesh, value: bool) {
+        for i in sm.row..sm.row + sm.rows {
+            for j in sm.col..sm.col + sm.cols {
+                debug_assert_ne!(self.busy[i * self.cols + j], value);
+                self.busy[i * self.cols + j] = value;
+            }
+        }
+    }
+
+    /// First-fit allocation of an `r × c` frame, scanning row-major.
+    /// With `rotate`, the transposed shape is tried when the upright one
+    /// does not fit anywhere.
+    pub fn allocate(&mut self, r: usize, c: usize, rotate: bool) -> Option<SubMesh> {
+        assert!(r > 0 && c > 0);
+        let shapes: &[(usize, usize)] = if rotate && r != c {
+            &[(r, c), (c, r)]
+        } else {
+            &[(r, c)]
+        };
+        for &(r, c) in shapes {
+            for row in 0..self.rows.saturating_sub(r - 1) {
+                for col in 0..self.cols.saturating_sub(c - 1) {
+                    if self.fits_at(row, col, r, c) {
+                        let sm = SubMesh {
+                            row,
+                            col,
+                            rows: r,
+                            cols: c,
+                        };
+                        self.mark(&sm, true);
+                        self.allocated.push(sm);
+                        return Some(sm);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Release a previously allocated sub-mesh.
+    pub fn free(&mut self, sm: SubMesh) {
+        let pos = self
+            .allocated
+            .iter()
+            .position(|a| *a == sm)
+            .expect("freeing an unallocated sub-mesh");
+        self.allocated.swap_remove(pos);
+        self.mark(&sm, false);
+    }
+
+    /// True when the request is refused even though enough *total* free
+    /// nodes exist — external fragmentation, the metric the sub-mesh
+    /// allocation literature of the era optimised.
+    pub fn is_fragmented_refusal(&self, r: usize, c: usize, rotate: bool) -> bool {
+        if self.free_nodes() < r * c {
+            return false;
+        }
+        let mut probe = self.clone();
+        probe.allocate(r, c, rotate).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_and_frees() {
+        let mut m = MeshSpace::new(4, 4);
+        let a = m.allocate(2, 2, false).unwrap();
+        assert_eq!(m.free_nodes(), 12);
+        let b = m.allocate(2, 2, false).unwrap();
+        assert!(!a.overlaps(&b));
+        assert_eq!(m.free_nodes(), 8);
+        m.free(a);
+        assert_eq!(m.free_nodes(), 12);
+        m.free(b);
+        assert_eq!(m.free_nodes(), 16);
+        assert!(m.allocations().is_empty());
+    }
+
+    #[test]
+    fn first_fit_is_row_major_deterministic() {
+        let mut m = MeshSpace::new(4, 4);
+        let a = m.allocate(2, 3, false).unwrap();
+        assert_eq!((a.row, a.col), (0, 0));
+        let b = m.allocate(2, 3, false).unwrap();
+        assert_eq!((b.row, b.col), (2, 0), "next frame below, row-major scan");
+    }
+
+    #[test]
+    fn full_machine_fits_exactly() {
+        let mut m = MeshSpace::new(16, 33);
+        let a = m.allocate(16, 33, false).unwrap();
+        assert_eq!(a.nodes(), 528);
+        assert_eq!(m.free_nodes(), 0);
+        assert!(m.allocate(1, 1, false).is_none());
+    }
+
+    #[test]
+    fn rotation_rescues_tall_requests() {
+        let mut m = MeshSpace::new(2, 8);
+        assert!(m.allocate(6, 2, false).is_none(), "6 rows cannot fit");
+        let a = m.allocate(6, 2, true).unwrap();
+        assert_eq!((a.rows, a.cols), (2, 6), "rotated placement");
+    }
+
+    #[test]
+    fn fragmentation_detected() {
+        // Checkerboard 1x1 allocations leave plenty of free nodes but no
+        // contiguous 2x2 frame.
+        let mut m = MeshSpace::new(4, 4);
+        let mut holders = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                if (i + j) % 2 == 0 {
+                    holders.push(m.allocate(1, 1, false).unwrap());
+                }
+            }
+        }
+        // First-fit 1x1s fill row-major, so re-mark the board explicitly:
+        for h in holders {
+            m.free(h);
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                if (i + j) % 2 == 0 {
+                    // direct placement via fits_at path
+                    let sm = SubMesh { row: i, col: j, rows: 1, cols: 1 };
+                    assert!(m.fits_at(i, j, 1, 1));
+                    m.mark(&sm, true);
+                    m.allocated.push(sm);
+                }
+            }
+        }
+        assert_eq!(m.free_nodes(), 8);
+        assert!(m.is_fragmented_refusal(2, 2, true));
+        assert!(!m.is_fragmented_refusal(4, 4, true), "not enough nodes anyway");
+    }
+
+    #[test]
+    fn node_ids_match_topology_layout() {
+        let sm = SubMesh { row: 1, col: 2, rows: 2, cols: 2 };
+        let ids: Vec<usize> = sm.node_ids(33).collect();
+        assert_eq!(ids, vec![1 * 33 + 2, 1 * 33 + 3, 2 * 33 + 2, 2 * 33 + 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn double_free_panics() {
+        let mut m = MeshSpace::new(2, 2);
+        let a = m.allocate(1, 1, false).unwrap();
+        m.free(a);
+        m.free(a);
+    }
+}

@@ -1,0 +1,913 @@
+//! The multicomputer simulator: node programs as async tasks over a
+//! discrete-event core.
+//!
+//! ## Network model
+//!
+//! Messages are timed with a *link-occupancy* approximation of wormhole
+//! switching: a message from `src` to `dst` follows the topology's
+//! deterministic route; it starts when every channel on the path is free
+//! (and the wire latency has elapsed), then holds the whole path for
+//! `per_hop·hops + bytes/bandwidth`. This captures the two behaviours that
+//! matter at the scale of the paper's claims — pipelined transfers whose
+//! time is dominated by `bytes/bw`, and head-of-line contention when
+//! routes share channels — while staying fast enough to sweep 1000-node
+//! machines.
+//!
+//! ## Compute model
+//!
+//! `Node::compute(kernel, flops)` advances virtual time by
+//! `flops / (peak · eff(kernel))`. Programs may move real `f64` data
+//! (validated numerics at small scale) or `Payload::Virtual` byte counts
+//! (paper-scale runs where only timing matters).
+
+use crate::machine::{Kernel, MachineConfig};
+use crate::topology::LinkId;
+use bytes::Bytes;
+use des::time::{Dur, SimTime};
+use des::{Completion, EventQueue, Tasks};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::rc::Rc;
+
+/// Message contents: real doubles, raw bytes, or a timing-only byte count.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    F64(Rc<[f64]>),
+    Bytes(Bytes),
+    Virtual(u64),
+}
+
+impl Payload {
+    pub fn from_f64s(xs: &[f64]) -> Payload {
+        Payload::F64(Rc::from(xs))
+    }
+
+    /// On-the-wire size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        match self {
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Virtual(n) => *n,
+        }
+    }
+
+    /// Borrow the doubles; panics on a non-F64 payload (a protocol error
+    /// in the node program, not a recoverable condition).
+    pub fn as_f64s(&self) -> &[f64] {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {} bytes", other.len_bytes()),
+        }
+    }
+
+    pub fn into_f64s(self) -> Rc<[f64]> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {} bytes", other.len_bytes()),
+        }
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Payload,
+    pub sent_at: SimTime,
+    pub arrived_at: SimTime,
+}
+
+enum Event {
+    Deliver { dst: usize, msg: Msg },
+    Wake(Completion<()>),
+}
+
+struct PendingRecv {
+    src: Option<usize>,
+    tag: Option<u64>,
+    done: Completion<Msg>,
+}
+
+fn matches(want_src: Option<usize>, want_tag: Option<u64>, src: usize, tag: u64) -> bool {
+    want_src.is_none_or(|s| s == src) && want_tag.is_none_or(|t| t == tag)
+}
+
+/// Aggregate counters for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    pub messages: u64,
+    pub bytes: u64,
+    pub flops: f64,
+    /// Sum over nodes of time spent in `compute`.
+    pub compute_time: Dur,
+    /// Sum over channels of reserved time.
+    pub link_busy: Dur,
+    /// Messages delivered to a node with no matching recv posted yet.
+    pub unexpected: u64,
+}
+
+struct SimCore {
+    q: EventQueue<Event>,
+    cfg: MachineConfig,
+    link_busy_until: Vec<SimTime>,
+    mailbox: Vec<VecDeque<Msg>>,
+    pending: Vec<VecDeque<PendingRecv>>,
+    blocked: Vec<Option<String>>,
+    route_buf: Vec<LinkId>,
+    counters: Counters,
+}
+
+impl SimCore {
+    fn new(cfg: MachineConfig) -> SimCore {
+        let n = cfg.nodes();
+        let links = cfg.topology.links();
+        SimCore {
+            q: EventQueue::new(),
+            cfg,
+            link_busy_until: vec![SimTime::ZERO; links],
+            mailbox: (0..n).map(|_| VecDeque::new()).collect(),
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            blocked: vec![None; n],
+            route_buf: Vec::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Compute the arrival time of a message injected now and reserve the
+    /// channels along its route.
+    fn inject(&mut self, src: usize, dst: usize, tag: u64, payload: Payload) {
+        let now = self.q.now();
+        let bytes = payload.len_bytes();
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+
+        let arrival = if src == dst {
+            // Local copy through memory; never touches the network.
+            now + Dur::from_micros(1) + Dur::from_secs_f64(bytes as f64 / self.cfg.node.mem_bw)
+        } else {
+            let net = &self.cfg.net;
+            let mut route = std::mem::take(&mut self.route_buf);
+            self.cfg.topology.route(src, dst, &mut route);
+            // The first byte reaches the wire only after the sender's
+            // software send path and the router setup have run.
+            let injected = now + net.send_overhead + net.wire_latency;
+            let serial = Dur::from_secs_f64(bytes as f64 / net.bandwidth);
+            let end = match net.switching {
+                crate::machine::Switching::Wormhole => {
+                    // The whole path is reserved once and held for the
+                    // pipelined transfer.
+                    let mut start = injected;
+                    for &l in &route {
+                        if self.link_busy_until[l] > start {
+                            start = self.link_busy_until[l];
+                        }
+                    }
+                    let dur = net.per_hop * route.len() as u64 + serial;
+                    let end = start + dur;
+                    for &l in &route {
+                        self.link_busy_until[l] = end;
+                    }
+                    self.counters.link_busy += dur * route.len() as u64;
+                    end
+                }
+                crate::machine::Switching::StoreAndForward => {
+                    // The message is fully buffered and retransmitted at
+                    // every hop; each channel is held for its own copy.
+                    let mut at = injected;
+                    for &l in &route {
+                        let start = at.max(self.link_busy_until[l]);
+                        let end = start + net.per_hop + serial;
+                        self.link_busy_until[l] = end;
+                        self.counters.link_busy += net.per_hop + serial;
+                        at = end;
+                    }
+                    at
+                }
+            };
+            self.route_buf = route;
+            end
+        };
+
+        let msg = Msg {
+            src,
+            tag,
+            payload,
+            sent_at: now,
+            arrived_at: arrival,
+        };
+        self.q.schedule(arrival, Event::Deliver { dst, msg });
+    }
+
+    /// Hand an arrived message to a posted recv or queue it.
+    fn deliver(&mut self, dst: usize, msg: Msg) {
+        let pend = &mut self.pending[dst];
+        if let Some(pos) = pend
+            .iter()
+            .position(|p| matches(p.src, p.tag, msg.src, msg.tag))
+        {
+            let p = pend.remove(pos).unwrap();
+            self.blocked[dst] = None;
+            p.done.fulfil(msg);
+        } else {
+            self.counters.unexpected += 1;
+            self.mailbox[dst].push_back(msg);
+        }
+    }
+
+    fn timer(&mut self, delay: Dur) -> Completion<()> {
+        let c = Completion::new();
+        self.q.schedule_in(delay, Event::Wake(c.clone()));
+        c
+    }
+}
+
+/// Handle a node program uses to talk to the simulator. Cheap to clone.
+pub struct Node {
+    core: Rc<RefCell<SimCore>>,
+    rank: usize,
+    nranks: usize,
+}
+
+impl Clone for Node {
+    fn clone(&self) -> Self {
+        Node {
+            core: Rc::clone(&self.core),
+            rank: self.rank,
+            nranks: self.nranks,
+        }
+    }
+}
+
+impl Node {
+    /// This node's rank in `0..nranks()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Machine size.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().q.now()
+    }
+
+    /// The machine this program is running on.
+    pub fn machine(&self) -> MachineConfig {
+        self.core.borrow().cfg.clone()
+    }
+
+    /// Blocking tagged send (NX `csend` semantics: returns once the local
+    /// send path is done; the transfer proceeds in the background).
+    pub async fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        assert!(dst < self.nranks, "send to rank {dst} of {}", self.nranks);
+        let (c, overhead) = {
+            let mut core = self.core.borrow_mut();
+            core.inject(self.rank, dst, tag, payload);
+            let ov = core.cfg.net.send_overhead;
+            (core.timer(ov), ov)
+        };
+        let _ = overhead;
+        c.wait().await;
+    }
+
+    /// Convenience: send a slice of doubles.
+    pub async fn send_f64s(&self, dst: usize, tag: u64, data: &[f64]) {
+        self.send(dst, tag, Payload::from_f64s(data)).await;
+    }
+
+    /// Convenience: timing-only send of `bytes` bytes.
+    pub async fn send_virtual(&self, dst: usize, tag: u64, bytes: u64) {
+        self.send(dst, tag, Payload::Virtual(bytes)).await;
+    }
+
+    /// Blocking tagged receive. `src`/`tag` of `None` are wildcards.
+    /// Matches the earliest-arrived queued message first (NX `crecv`).
+    pub async fn recv(&self, src: Option<usize>, tag: Option<u64>) -> Msg {
+        let waited = {
+            let mut core = self.core.borrow_mut();
+            let mbox = &mut core.mailbox[self.rank];
+            if let Some(pos) = mbox
+                .iter()
+                .position(|m| matches(src, tag, m.src, m.tag))
+            {
+                Ok(mbox.remove(pos).unwrap())
+            } else {
+                let done: Completion<Msg> = Completion::new();
+                core.pending[self.rank].push_back(PendingRecv {
+                    src,
+                    tag,
+                    done: done.clone(),
+                });
+                core.blocked[self.rank] =
+                    Some(format!("recv(src={src:?}, tag={tag:?})"));
+                Err(done)
+            }
+        };
+        let (msg, buffered) = match waited {
+            Ok(m) => (m, true),
+            Err(done) => (done.wait().await, false),
+        };
+        // Receiver software overhead; an unexpected (buffered) message
+        // also pays the system-buffer copy — the reason NX programmers
+        // preposted their receives.
+        let c = {
+            let mut core = self.core.borrow_mut();
+            let mut ov = core.cfg.net.recv_overhead;
+            if buffered {
+                ov += Dur::from_secs_f64(
+                    msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw,
+                );
+            }
+            core.timer(ov)
+        };
+        c.wait().await;
+        msg
+    }
+
+    /// Receive and unwrap a doubles payload.
+    pub async fn recv_f64s(&self, src: Option<usize>, tag: Option<u64>) -> Rc<[f64]> {
+        self.recv(src, tag).await.payload.into_f64s()
+    }
+
+    /// Post a non-blocking receive (NX `irecv`): the match is armed
+    /// immediately, so a message arriving while the node computes is
+    /// captured without the unexpected-message queue. Await the returned
+    /// request to take the message (receiver overhead is charged then).
+    pub fn irecv(&self, src: Option<usize>, tag: Option<u64>) -> RecvRequest {
+        let mut core = self.core.borrow_mut();
+        let mbox = &mut core.mailbox[self.rank];
+        let done: Completion<Msg> = Completion::new();
+        let mut buffered = false;
+        if let Some(pos) = mbox.iter().position(|m| matches(src, tag, m.src, m.tag)) {
+            done.fulfil(mbox.remove(pos).unwrap());
+            buffered = true;
+        } else {
+            core.pending[self.rank].push_back(PendingRecv {
+                src,
+                tag,
+                done: done.clone(),
+            });
+        }
+        RecvRequest {
+            node: self.clone(),
+            done,
+            buffered,
+        }
+    }
+
+    /// Non-blocking mailbox check (NX `iprobe`): is a matching message
+    /// already waiting? Never consumes the message.
+    pub fn probe(&self, src: Option<usize>, tag: Option<u64>) -> bool {
+        self.core.borrow().mailbox[self.rank]
+            .iter()
+            .any(|m| matches(src, tag, m.src, m.tag))
+    }
+
+    /// Advance virtual time by the cost of `flops` operations of `kernel`.
+    pub async fn compute(&self, kernel: Kernel, flops: f64) {
+        let c = {
+            let mut core = self.core.borrow_mut();
+            let d = core.cfg.node.compute_time(kernel, flops);
+            core.counters.flops += flops;
+            core.counters.compute_time += d;
+            core.timer(d)
+        };
+        c.wait().await;
+    }
+
+    /// Advance virtual time by an explicit duration (I/O, OS, modelling).
+    pub async fn delay(&self, d: Dur) {
+        let c = self.core.borrow_mut().timer(d);
+        c.wait().await;
+    }
+}
+
+/// Handle to a posted non-blocking receive. Await [`RecvRequest::wait`]
+/// to take the message; [`RecvRequest::ready`] polls without blocking.
+pub struct RecvRequest {
+    node: Node,
+    done: Completion<Msg>,
+    /// The message had already arrived unexpected and was system-buffered
+    /// when this request was posted (extra copy charged at wait).
+    buffered: bool,
+}
+
+impl RecvRequest {
+    /// Has the matching message arrived yet?
+    pub fn ready(&self) -> bool {
+        self.done.is_fulfilled()
+    }
+
+    /// Block until the message is in, then charge the receive overhead
+    /// (plus the buffer copy when the message pre-dated the post).
+    pub async fn wait(self) -> Msg {
+        let msg = self.done.wait().await;
+        let c = {
+            let mut core = self.node.core.borrow_mut();
+            let mut ov = core.cfg.net.recv_overhead;
+            if self.buffered {
+                ov += Dur::from_secs_f64(
+                    msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw,
+                );
+            }
+            core.timer(ov)
+        };
+        c.wait().await;
+        msg
+    }
+}
+
+/// Per-run report: virtual elapsed time plus traffic/compute aggregates.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub machine: String,
+    pub nodes: usize,
+    pub elapsed: Dur,
+    pub messages: u64,
+    pub bytes: u64,
+    pub flops: f64,
+    pub events: u64,
+    /// Mean fraction of the run each node spent computing.
+    pub compute_fraction: f64,
+    /// Mean fraction of each channel's time spent occupied.
+    pub link_utilization: f64,
+    /// Messages that arrived before a matching recv was posted.
+    pub unexpected_messages: u64,
+}
+
+impl RunReport {
+    /// Achieved FLOP rate over the whole run.
+    pub fn gflops(&self) -> f64 {
+        if self.elapsed == Dur::ZERO {
+            0.0
+        } else {
+            self.flops / self.elapsed.as_secs_f64() / 1e9
+        }
+    }
+}
+
+/// A configured machine ready to run node programs.
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Machine {
+        Machine { cfg }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run one program per node to completion; collect each node's result.
+    ///
+    /// Panics (with a per-node wait list) on communication deadlock —
+    /// tasks still parked with an empty event calendar.
+    pub fn run<T, F, Fut>(&self, program: F) -> (Vec<T>, RunReport)
+    where
+        T: 'static,
+        F: Fn(Node) -> Fut,
+        Fut: Future<Output = T> + 'static,
+    {
+        let n = self.cfg.nodes();
+        let core = Rc::new(RefCell::new(SimCore::new(self.cfg.clone())));
+        let mut tasks = Tasks::new();
+        let results: Rc<RefCell<Vec<Option<T>>>> =
+            Rc::new(RefCell::new((0..n).map(|_| None).collect()));
+
+        for rank in 0..n {
+            let node = Node {
+                core: Rc::clone(&core),
+                rank,
+                nranks: n,
+            };
+            let fut = program(node);
+            let sink = Rc::clone(&results);
+            tasks.spawn(async move {
+                let out = fut.await;
+                sink.borrow_mut()[rank] = Some(out);
+            });
+        }
+
+        tasks.run_ready();
+        while !tasks.all_done() {
+            let ev = core.borrow_mut().q.pop();
+            match ev {
+                Some((_, Event::Deliver { dst, msg })) => {
+                    core.borrow_mut().deliver(dst, msg);
+                }
+                Some((_, Event::Wake(c))) => c.fulfil(()),
+                None => {
+                    let core = core.borrow();
+                    let stuck: Vec<String> = core
+                        .blocked
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(r, b)| b.as_ref().map(|s| format!("  node {r}: {s}")))
+                        .collect();
+                    panic!(
+                        "deadlock on {}: {} tasks parked, no events\n{}",
+                        core.cfg.name,
+                        tasks.live(),
+                        stuck.join("\n")
+                    );
+                }
+            }
+            tasks.run_ready();
+        }
+
+        let core = core.borrow();
+        let elapsed = core.q.now() - SimTime::ZERO;
+        let nlinks = core.cfg.topology.links().max(1);
+        let denom = elapsed.as_secs_f64().max(1e-30);
+        let report = RunReport {
+            machine: core.cfg.name.clone(),
+            nodes: n,
+            elapsed,
+            messages: core.counters.messages,
+            bytes: core.counters.bytes,
+            flops: core.counters.flops,
+            events: core.q.events_processed(),
+            compute_fraction: core.counters.compute_time.as_secs_f64() / (n as f64 * denom),
+            link_utilization: core.counters.link_busy.as_secs_f64()
+                / (nlinks as f64 * denom),
+            unexpected_messages: core.counters.unexpected,
+        };
+        let results = Rc::try_unwrap(results)
+            .unwrap_or_else(|_| unreachable!("all tasks done"))
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("node completed"))
+            .collect();
+        (results, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::presets;
+
+    fn tiny() -> Machine {
+        Machine::new(presets::delta(2, 2))
+    }
+
+    #[test]
+    fn pingpong_latency_matches_model() {
+        let m = tiny();
+        let bytes = 8_000u64;
+        let (_out, report) = m.run(|node| async move {
+            match node.rank() {
+                0 => {
+                    node.send_virtual(1, 7, bytes).await;
+                    node.recv(Some(1), Some(8)).await;
+                }
+                1 => {
+                    node.recv(Some(0), Some(7)).await;
+                    node.send_virtual(0, 8, bytes).await;
+                }
+                _ => {}
+            }
+        });
+        let cfg = m.config();
+        let one_way = cfg.net.send_overhead
+            + cfg.net.transfer_time(bytes, 1)
+            + cfg.net.recv_overhead;
+        let expect = one_way * 2;
+        let got = report.elapsed;
+        let err = (got.as_secs_f64() - expect.as_secs_f64()).abs() / expect.as_secs_f64();
+        assert!(err < 0.05, "got {got}, expected ~{expect}");
+        assert_eq!(report.messages, 2);
+        assert_eq!(report.bytes, 2 * bytes);
+    }
+
+    #[test]
+    fn contention_serialises_shared_link() {
+        // 1x3 mesh: 0->2 and 1->2 share the link 1->2; the two 1 MB
+        // transfers must take ~2x the bandwidth time, not 1x.
+        let m = Machine::new(presets::delta(1, 3));
+        let bytes = 1_000_000u64;
+        let (_, report) = m.run(move |node| async move {
+            match node.rank() {
+                0 | 1 => node.send_virtual(2, node.rank() as u64, bytes).await,
+                2 => {
+                    node.recv(None, None).await;
+                    node.recv(None, None).await;
+                }
+                _ => {}
+            }
+        });
+        let bw_time = bytes as f64 / m.config().net.bandwidth;
+        let got = report.elapsed.as_secs_f64();
+        assert!(
+            got > 1.9 * bw_time && got < 2.3 * bw_time,
+            "elapsed {got}s vs serialised {:.4}s",
+            2.0 * bw_time
+        );
+    }
+
+    #[test]
+    fn disjoint_routes_run_in_parallel() {
+        // 1x4 mesh: 0->1 and 3->2 use disjoint links; elapsed ~1x.
+        let m = Machine::new(presets::delta(1, 4));
+        let bytes = 1_000_000u64;
+        let (_, report) = m.run(move |node| async move {
+            match node.rank() {
+                0 => node.send_virtual(1, 0, bytes).await,
+                3 => node.send_virtual(2, 0, bytes).await,
+                1 | 2 => {
+                    node.recv(None, None).await;
+                }
+                _ => {}
+            }
+        });
+        let bw_time = bytes as f64 / m.config().net.bandwidth;
+        let got = report.elapsed.as_secs_f64();
+        assert!(got < 1.2 * bw_time, "elapsed {got}s vs parallel {bw_time}s");
+    }
+
+    #[test]
+    fn tag_and_src_matching() {
+        let m = tiny();
+        let (out, _) = m.run(|node| async move {
+            match node.rank() {
+                0 => {
+                    // Send out of order; receiver selects by tag.
+                    node.send_f64s(1, 20, &[2.0]).await;
+                    node.send_f64s(1, 10, &[1.0]).await;
+                    0.0
+                }
+                1 => {
+                    let a = node.recv_f64s(Some(0), Some(10)).await;
+                    let b = node.recv_f64s(Some(0), Some(20)).await;
+                    a[0] * 10.0 + b[0]
+                }
+                _ => 0.0,
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn wildcard_recv_takes_earliest() {
+        let m = Machine::new(presets::delta(1, 3));
+        let (out, _) = m.run(|node| async move {
+            match node.rank() {
+                0 => {
+                    node.send_f64s(2, 1, &[5.0]).await;
+                    0.0
+                }
+                1 => {
+                    // Delay so node 0's message definitely arrives first.
+                    node.delay(Dur::from_millis(10)).await;
+                    node.send_f64s(2, 1, &[7.0]).await;
+                    0.0
+                }
+                2 => {
+                    let first = node.recv(None, None).await;
+                    let second = node.recv(None, None).await;
+                    assert_eq!(first.src, 0);
+                    assert_eq!(second.src, 1);
+                    first.payload.as_f64s()[0] + second.payload.as_f64s()[0]
+                }
+                _ => 0.0,
+            }
+        });
+        assert_eq!(out[2], 12.0);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let m = tiny();
+        let (out, _) = m.run(|node| async move {
+            if node.rank() == 0 {
+                node.send_f64s(0, 3, &[4.5]).await;
+                node.recv_f64s(Some(0), Some(3)).await[0]
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(out[0], 4.5);
+    }
+
+    #[test]
+    fn compute_advances_time_by_model() {
+        let m = tiny();
+        let flops = 1.0e9;
+        let (_, report) = m.run(move |node| async move {
+            if node.rank() == 0 {
+                node.compute(Kernel::Dgemm, flops).await;
+            }
+        });
+        let expect = m.config().node.compute_time(Kernel::Dgemm, flops);
+        assert_eq!(report.elapsed, expect);
+        assert_eq!(report.flops, flops);
+    }
+
+    #[test]
+    fn gflops_accounting() {
+        let m = tiny();
+        let (_, report) = m.run(|node| async move {
+            // All 4 nodes compute 1 GFLOP of dgemm concurrently.
+            node.compute(Kernel::Dgemm, 1.0e9).await;
+        });
+        let per_node = m.config().node.sustained(Kernel::Dgemm);
+        let expect_gflops = 4.0 * per_node / 1e9;
+        assert!(
+            (report.gflops() - expect_gflops).abs() / expect_gflops < 1e-6,
+            "got {} expected {}",
+            report.gflops(),
+            expect_gflops
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let m = Machine::new(presets::delta(2, 3));
+            let (_, r) = m.run(|node| async move {
+                let n = node.nranks();
+                let next = (node.rank() + 1) % n;
+                let prev = (node.rank() + n - 1) % n;
+                node.send_virtual(next, 1, 4096).await;
+                node.recv(Some(prev), Some(1)).await;
+                node.compute(Kernel::Stencil, 1e7).await;
+            });
+            (r.elapsed, r.messages, r.bytes, r.events)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let m = tiny();
+        let (_, _) = m.run(|node| async move {
+            // Everyone waits; nobody sends.
+            node.recv(None, None).await;
+        });
+    }
+
+    #[test]
+    fn unexpected_messages_counted() {
+        let m = tiny();
+        let (_, report) = m.run(|node| async move {
+            match node.rank() {
+                0 => node.send_virtual(1, 1, 64).await,
+                1 => {
+                    // Post the recv long after arrival.
+                    node.delay(Dur::from_millis(50)).await;
+                    node.recv(Some(0), Some(1)).await;
+                }
+                _ => {}
+            }
+        });
+        assert_eq!(report.unexpected_messages, 1);
+    }
+
+    #[test]
+    fn irecv_overlaps_compute() {
+        // Blocking style: recv happens after the compute finishes, so
+        // total = compute + full message path. irecv style: the message
+        // flies while the node computes.
+        let bytes = 2_000_000u64;
+        let flops = 4.0e6; // ~115 ms of dgemm on a Delta node
+        let run = |overlap: bool| {
+            let m = tiny();
+            let (_, r) = m.run(move |node| async move {
+                match node.rank() {
+                    0 => node.send_virtual(1, 9, bytes).await,
+                    1 => {
+                        if overlap {
+                            let req = node.irecv(Some(0), Some(9));
+                            node.compute(Kernel::Dgemm, flops).await;
+                            req.wait().await;
+                        } else {
+                            node.compute(Kernel::Dgemm, flops).await;
+                            node.recv(Some(0), Some(9)).await;
+                        }
+                    }
+                    _ => {}
+                }
+            });
+            r.elapsed.as_secs_f64()
+        };
+        let blocking = run(false);
+        let overlapped = run(true);
+        assert!(
+            overlapped < blocking,
+            "overlap {overlapped} !< blocking {blocking}"
+        );
+        // Both paths still end after max(compute, transfer) at least.
+        assert!(overlapped > 0.9 * (bytes as f64 / 25.0e6));
+    }
+
+    #[test]
+    fn irecv_ready_and_unexpected_bypass() {
+        let m = tiny();
+        let (_, report) = m.run(|node| async move {
+            match node.rank() {
+                0 => node.send_virtual(1, 5, 64).await,
+                1 => {
+                    let req = node.irecv(Some(0), Some(5));
+                    assert!(!req.ready(), "nothing arrived yet");
+                    node.delay(Dur::from_millis(10)).await;
+                    assert!(req.ready(), "message should have landed");
+                    req.wait().await;
+                }
+                _ => {}
+            }
+        });
+        // The posted irecv caught the message before it became
+        // "unexpected".
+        assert_eq!(report.unexpected_messages, 0);
+    }
+
+    #[test]
+    fn probe_sees_but_does_not_consume() {
+        let m = tiny();
+        let (out, _) = m.run(|node| async move {
+            match node.rank() {
+                0 => {
+                    node.send_f64s(1, 3, &[8.0]).await;
+                    0.0
+                }
+                1 => {
+                    assert!(!node.probe(Some(0), Some(3)));
+                    node.delay(Dur::from_millis(5)).await;
+                    assert!(node.probe(Some(0), Some(3)));
+                    assert!(node.probe(Some(0), Some(3)), "probe is repeatable");
+                    assert!(!node.probe(Some(0), Some(99)), "tag filter");
+                    node.recv_f64s(Some(0), Some(3)).await[0]
+                }
+                _ => 0.0,
+            }
+        });
+        assert_eq!(out[1], 8.0);
+    }
+
+    #[test]
+    fn store_and_forward_is_distance_sensitive() {
+        // 1x9 line, 1 MB end to end (8 hops): wormhole pays the serial
+        // time once; store-and-forward pays it per hop.
+        let bytes = 1_000_000u64;
+        let elapsed = |cfg: crate::machine::MachineConfig| {
+            let m = Machine::new(cfg);
+            let (_, r) = m.run(move |node| async move {
+                match node.rank() {
+                    0 => node.send_virtual(8, 1, bytes).await,
+                    8 => {
+                        node.recv(Some(0), Some(1)).await;
+                    }
+                    _ => {}
+                }
+            });
+            r.elapsed.as_secs_f64()
+        };
+        let wh = elapsed(presets::delta(1, 9));
+        let sf = elapsed(presets::delta_store_and_forward(1, 9));
+        let serial = bytes as f64 / presets::delta(1, 9).net.bandwidth;
+        assert!(wh < 1.2 * serial, "wormhole {wh} vs serial {serial}");
+        assert!(
+            sf > 7.5 * serial && sf < 8.5 * serial,
+            "S&F {sf} vs 8x serial {}",
+            8.0 * serial
+        );
+    }
+
+    #[test]
+    fn switching_disciplines_agree_at_one_hop() {
+        let bytes = 500_000u64;
+        let one_hop = |cfg: crate::machine::MachineConfig| {
+            let m = Machine::new(cfg);
+            let (_, r) = m.run(move |node| async move {
+                match node.rank() {
+                    0 => node.send_virtual(1, 1, bytes).await,
+                    1 => {
+                        node.recv(Some(0), Some(1)).await;
+                    }
+                    _ => {}
+                }
+            });
+            r.elapsed
+        };
+        let wh = one_hop(presets::delta(1, 2));
+        let sf = one_hop(presets::delta_store_and_forward(1, 2));
+        assert_eq!(wh, sf, "single hop: no pipelining advantage");
+    }
+
+    #[test]
+    fn results_collected_per_rank() {
+        let m = Machine::new(presets::delta(2, 4));
+        let (out, _) = m.run(|node| async move { node.rank() * 10 });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+}

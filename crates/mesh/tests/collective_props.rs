@@ -1,0 +1,190 @@
+//! Property tests for the collective library: correctness of every
+//! data collective across random machine shapes, roots, and payloads.
+
+use delta_mesh::{presets, Comm, Machine};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn machine(rows: usize, cols: usize) -> Machine {
+    Machine::new(presets::delta(rows, cols))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bcast_delivers_exact_data(
+        rows in 1usize..4,
+        cols in 1usize..5,
+        root_sel in 0usize..20,
+        len in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let p = rows * cols;
+        let root = root_sel % p;
+        let mut rng = des::rng::Rng::new(seed);
+        let data: Vec<f64> = (0..len).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+        let expect = data.clone();
+        let m = machine(rows, cols);
+        let (out, _) = m.run(move |node| {
+            let data = data.clone();
+            async move {
+                let comm = Comm::world(&node);
+                let payload = (comm.me() == root).then(|| Rc::from(data.as_slice()));
+                comm.bcast(root, payload).await.to_vec()
+            }
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_reference(
+        rows in 1usize..4,
+        cols in 1usize..5,
+        len in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let p = rows * cols;
+        let mut rng = des::rng::Rng::new(seed);
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..len).map(|_| rng.range_f64(-3.0, 3.0)).collect())
+            .collect();
+        let mut reference = vec![0.0f64; len];
+        for row in &inputs {
+            for (r, v) in reference.iter_mut().zip(row) {
+                *r += v;
+            }
+        }
+        let m = machine(rows, cols);
+        let (out, _) = m.run(move |node| {
+            let mine = inputs[node.rank()].clone();
+            async move {
+                let comm = Comm::world(&node);
+                comm.allreduce_sum(&mine).await
+            }
+        });
+        for v in out {
+            for (a, b) in v.iter().zip(&reference) {
+                prop_assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_blocks(
+        rows in 1usize..4,
+        cols in 1usize..5,
+        blk in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let p = rows * cols;
+        let mut rng = des::rng::Rng::new(seed);
+        let blocks: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..blk).map(|_| rng.range_f64(0.0, 9.0)).collect())
+            .collect();
+        let expect: Vec<f64> = blocks.iter().flatten().copied().collect();
+        let m = machine(rows, cols);
+        let (out, _) = m.run(move |node| {
+            let mine = blocks[node.rank()].clone();
+            async move {
+                let comm = Comm::world(&node);
+                comm.allgather(&mine).await
+            }
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_transpose(
+        rows in 1usize..3,
+        cols in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let p = rows * cols;
+        let mut rng = des::rng::Rng::new(seed);
+        // chunk[i][j][0] encodes (i, j) uniquely.
+        let chunks: Vec<Vec<Vec<f64>>> = (0..p)
+            .map(|i| {
+                (0..p)
+                    .map(|j| vec![(i * p + j) as f64, rng.next_f64()])
+                    .collect()
+            })
+            .collect();
+        let reference = chunks.clone();
+        let m = machine(rows, cols);
+        let (out, _) = m.run(move |node| {
+            let mine = chunks[node.rank()].clone();
+            async move {
+                let comm = Comm::world(&node);
+                comm.alltoall(mine).await
+            }
+        });
+        for (j, got) in out.iter().enumerate() {
+            for (i, chunk) in got.iter().enumerate() {
+                prop_assert_eq!(chunk, &reference[i][j], "member {} chunk {}", j, i);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_prefixes_are_consistent(
+        rows in 1usize..4,
+        cols in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let p = rows * cols;
+        let mut rng = des::rng::Rng::new(seed);
+        let values: Vec<f64> = (0..p).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+        let vals = values.clone();
+        let m = machine(rows, cols);
+        let (out, _) = m.run(move |node| {
+            let mine = vals[node.rank()];
+            async move {
+                let comm = Comm::world(&node);
+                comm.scan_sum(&[mine]).await[0]
+            }
+        });
+        let mut acc = 0.0;
+        for (i, got) in out.iter().enumerate() {
+            acc += values[i];
+            prop_assert!((got - acc).abs() < 1e-12, "member {i}: {got} vs {acc}");
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce_agree(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let p = rows * cols;
+        let mut rng = des::rng::Rng::new(seed);
+        let values: Vec<f64> = (0..p).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let root = (seed as usize) % p;
+        let vals = values.clone();
+        let m = machine(rows, cols);
+        let (out, _) = m.run(move |node| {
+            let mine = vals[node.rank()];
+            async move {
+                let comm = Comm::world(&node);
+                let red = comm.reduce_sum(root, &[mine]).await;
+                let all = comm.allreduce_sum(&[mine]).await[0];
+                (red.map(|v| v[0]), all)
+            }
+        });
+        let all_val = out[0].1;
+        for (i, (red, all)) in out.iter().enumerate() {
+            prop_assert!((all - all_val).abs() < 1e-12);
+            if i == root {
+                let r = red.expect("root holds reduction");
+                prop_assert!((r - all).abs() < 1e-10, "{r} vs {all}");
+            } else {
+                prop_assert!(red.is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Flow-level dynamics: transfers share the network under max-min
+//! fairness, recomputed at every arrival and completion.
+//!
+//! This is the standard fluid approximation for long file transfers —
+//! appropriate for the consortium's workload (staging input decks and
+//! retrieving result fields from the Delta). An optional per-flow TCP
+//! window cap (`rate ≤ window / RTT`) models the era's protocol limit,
+//! which is what made "gigabit testbeds" a research program rather than
+//! a procurement.
+
+use crate::graph::{Net, Route};
+use crate::link::SiteId;
+use des::time::{Dur, SimTime};
+
+/// One requested transfer.
+#[derive(Debug, Clone)]
+pub struct TransferSpec {
+    pub src: SiteId,
+    pub dst: SiteId,
+    pub bytes: u64,
+    pub start: SimTime,
+    /// TCP window in bytes; `None` disables the protocol cap.
+    pub window: Option<u64>,
+}
+
+impl TransferSpec {
+    pub fn new(src: SiteId, dst: SiteId, bytes: u64, start: SimTime) -> TransferSpec {
+        TransferSpec {
+            src,
+            dst,
+            bytes,
+            start,
+            window: None,
+        }
+    }
+
+    pub fn with_window(mut self, window: u64) -> TransferSpec {
+        self.window = Some(window);
+        self
+    }
+}
+
+/// Outcome of one transfer.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    pub spec: TransferSpec,
+    pub hops: usize,
+    pub path_latency: Dur,
+    pub started: SimTime,
+    pub finished: SimTime,
+}
+
+impl FlowRecord {
+    pub fn duration(&self) -> Dur {
+        self.finished - self.started
+    }
+
+    /// Mean achieved rate, bytes/s.
+    pub fn avg_rate(&self) -> f64 {
+        self.spec.bytes as f64 / self.duration().as_secs_f64().max(1e-12)
+    }
+}
+
+struct Active {
+    id: usize,
+    route: Route,
+    remaining: f64,
+    cap: f64,
+    rate: f64,
+    started: SimTime,
+}
+
+/// Max-min fair rates via progressive filling with per-flow caps.
+///
+/// `flows` supplies each flow's directed-link list and its rate cap.
+/// Returns one rate per flow. Runs in O(iterations × links) where each
+/// iteration freezes at least one flow.
+pub fn maxmin_rates(net: &Net, flows: &[(&[usize], f64)]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rate = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut residual = vec![0.0f64; net.dir_links()];
+    for d in 0..net.dir_links() {
+        residual[d] = net.capacity(d);
+    }
+    // Flows with no links (degenerate) are frozen at their cap.
+    for (i, (dirs, cap)) in flows.iter().enumerate() {
+        if dirs.is_empty() {
+            rate[i] = *cap;
+            frozen[i] = true;
+        }
+    }
+    let mut unfrozen = frozen.iter().filter(|&&f| !f).count();
+    let mut counts = vec![0u32; net.dir_links()];
+    while unfrozen > 0 {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for (i, (dirs, _)) in flows.iter().enumerate() {
+            if !frozen[i] {
+                for &d in *dirs {
+                    counts[d] += 1;
+                }
+            }
+        }
+        // The uniform increment every unfrozen flow can still take.
+        let mut inc = f64::INFINITY;
+        for d in 0..net.dir_links() {
+            if counts[d] > 0 {
+                inc = inc.min(residual[d].max(0.0) / counts[d] as f64);
+            }
+        }
+        for (i, (_, cap)) in flows.iter().enumerate() {
+            if !frozen[i] {
+                inc = inc.min(cap - rate[i]);
+            }
+        }
+        if !inc.is_finite() {
+            break;
+        }
+        let inc = inc.max(0.0);
+        for (i, (dirs, _)) in flows.iter().enumerate() {
+            if !frozen[i] {
+                rate[i] += inc;
+                for &d in *dirs {
+                    residual[d] -= inc;
+                }
+            }
+        }
+        // Freeze flows at their cap or on a saturated link.
+        let mut any = false;
+        for (i, (dirs, cap)) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let capped = rate[i] >= cap - 1e-9 * cap.max(1.0);
+            let saturated = dirs.iter().any(|&d| {
+                residual[d] <= 1e-9 * net.capacity(d).max(1.0)
+            });
+            if capped || saturated {
+                frozen[i] = true;
+                unfrozen -= 1;
+                any = true;
+            }
+        }
+        if !any {
+            // Numerical stall: freeze everything rather than loop.
+            break;
+        }
+    }
+    rate
+}
+
+/// Network-side statistics of one simulated batch.
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Bytes carried per directed link over the run.
+    pub carried: Vec<f64>,
+    /// Time of the last completion.
+    pub makespan: des::time::SimTime,
+}
+
+impl NetStats {
+    /// Mean utilisation of a directed link over the run.
+    pub fn utilization(&self, net: &Net, dir: usize) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.carried[dir] / (net.capacity(dir) * secs)
+    }
+
+    /// The `k` busiest directed links as (dir, bytes), descending.
+    pub fn busiest(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .carried
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, b)| *b > 0.0)
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Event-driven fluid simulation of a batch of transfers.
+pub struct FlowSim<'a> {
+    net: &'a Net,
+}
+
+impl<'a> FlowSim<'a> {
+    pub fn new(net: &'a Net) -> FlowSim<'a> {
+        FlowSim { net }
+    }
+
+    /// Closed-form time for a single transfer on an idle network:
+    /// propagation + bytes over the (possibly window-capped) bottleneck.
+    pub fn single_flow_time(&self, spec: &TransferSpec) -> Option<Dur> {
+        let route = self.net.route(spec.src, spec.dst)?;
+        let mut rate = self.net.bottleneck(&route);
+        if let Some(w) = spec.window {
+            let rtt = (route.latency * 2).as_secs_f64().max(1e-9);
+            rate = rate.min(w as f64 / rtt);
+        }
+        Some(route.latency + Dur::from_secs_f64(spec.bytes as f64 / rate))
+    }
+
+    /// Run the transfer batch to completion; records are returned in the
+    /// order the specs were given.
+    pub fn run(&self, specs: Vec<TransferSpec>) -> Vec<FlowRecord> {
+        self.run_with_stats(specs).0
+    }
+
+    /// Like [`FlowSim::run`], also returning per-link carriage stats.
+    pub fn run_with_stats(&self, mut specs: Vec<TransferSpec>) -> (Vec<FlowRecord>, NetStats) {
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..specs.len()).collect();
+            idx.sort_by_key(|&i| (specs[i].start, i));
+            idx
+        };
+        let mut records: Vec<Option<FlowRecord>> = specs.iter().map(|_| None).collect();
+        let mut active: Vec<Active> = Vec::new();
+        let mut next = 0usize;
+        let mut now = SimTime::ZERO;
+        let mut carried = vec![0.0f64; self.net.dir_links()];
+
+        loop {
+            if active.is_empty() && next >= order.len() {
+                break;
+            }
+            // Earliest completion under current (constant) rates.
+            let finish = active
+                .iter()
+                .map(|f| {
+                    debug_assert!(f.rate > 0.0);
+                    // Clamp to >= 1 ns so virtual time always advances even
+                    // when a fast flow's residue rounds below the clock tick.
+                    now + Dur::from_secs_f64(f.remaining / f.rate).max(Dur(1))
+                })
+                .min();
+            let arrival = (next < order.len()).then(|| specs[order[next]].start);
+
+            let (t, is_arrival) = match (finish, arrival) {
+                (Some(f), Some(a)) if a <= f => (a, true),
+                (Some(f), _) => (f, false),
+                (None, Some(a)) => (a, true),
+                (None, None) => break,
+            };
+
+            // Drain all active flows up to t.
+            let dt = (t - now).as_secs_f64();
+            for f in &mut active {
+                f.remaining -= f.rate * dt;
+                for &d in &f.route.dirs {
+                    carried[d] += f.rate * dt;
+                }
+            }
+            now = t;
+
+            if is_arrival {
+                while next < order.len() && specs[order[next]].start <= now {
+                    let id = order[next];
+                    next += 1;
+                    let spec = &specs[id];
+                    let route = self
+                        .net
+                        .route(spec.src, spec.dst)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "no route {} -> {}",
+                                self.net.name(spec.src),
+                                self.net.name(spec.dst)
+                            )
+                        });
+                    assert!(spec.src != spec.dst, "transfer to self");
+                    let cap = match spec.window {
+                        Some(w) => {
+                            let rtt = (route.latency * 2).as_secs_f64().max(1e-9);
+                            w as f64 / rtt
+                        }
+                        None => f64::INFINITY,
+                    };
+                    active.push(Active {
+                        id,
+                        route,
+                        remaining: spec.bytes as f64,
+                        cap,
+                        rate: 0.0,
+                        started: now,
+                    });
+                }
+            } else {
+                // Record and drop finished flows (remaining ~ 0).
+                let mut i = 0;
+                while i < active.len() {
+                    // Done when less than ~2 ns of work remains at the
+                    // flow's current rate (sub-clock-tick residue).
+                    let done_below = (active[i].rate * 2e-9).max(1e-6);
+                    if active[i].remaining <= done_below {
+                        let f = active.swap_remove(i);
+                        let spec = specs[f.id].clone();
+                        records[f.id] = Some(FlowRecord {
+                            hops: f.route.hops(),
+                            path_latency: f.route.latency,
+                            started: f.started,
+                            // Last byte still has to propagate.
+                            finished: now + f.route.latency,
+                            spec,
+                        });
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Re-solve the fair allocation.
+            if !active.is_empty() {
+                let flows: Vec<(&[usize], f64)> = active
+                    .iter()
+                    .map(|f| (f.route.dirs.as_slice(), f.cap))
+                    .collect();
+                let rates = maxmin_rates(self.net, &flows);
+                for (f, r) in active.iter_mut().zip(rates) {
+                    assert!(r > 0.0, "flow starved");
+                    f.rate = r;
+                }
+            }
+        }
+        specs.clear();
+        let records: Vec<FlowRecord> =
+            records.into_iter().map(|r| r.expect("flow finished")).collect();
+        let makespan = records
+            .iter()
+            .map(|r| r.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        (records, NetStats { carried, makespan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+
+    fn dumbbell() -> (Net, SiteId, SiteId, SiteId, SiteId) {
+        // a --\            /-- c
+        //      m1 == T1 == m2
+        // b --/            \-- d
+        let mut net = Net::new();
+        let a = net.add_site("a");
+        let b = net.add_site("b");
+        let c = net.add_site("c");
+        let d = net.add_site("d");
+        let m1 = net.add_site("m1");
+        let m2 = net.add_site("m2");
+        let fast = LinkClass::Fddi;
+        net.add_link(a, m1, fast, Dur::from_millis(1));
+        net.add_link(b, m1, fast, Dur::from_millis(1));
+        net.add_link(c, m2, fast, Dur::from_millis(1));
+        net.add_link(d, m2, fast, Dur::from_millis(1));
+        net.add_link(m1, m2, LinkClass::T1, Dur::from_millis(20));
+        (net, a, b, c, d)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck() {
+        let (net, a, _, c, _) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let bytes = 1_000_000;
+        let recs = sim.run(vec![TransferSpec::new(a, c, bytes, SimTime::ZERO)]);
+        let expect = bytes as f64 / LinkClass::T1.bytes_per_sec();
+        let got = recs[0].duration().as_secs_f64();
+        // duration includes path latency (22 ms both ways of measurement)
+        assert!((got - expect).abs() / expect < 0.02, "got {got} want ~{expect}");
+    }
+
+    #[test]
+    fn closed_form_matches_simulation_for_single_flow() {
+        let (net, a, _, c, _) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let spec = TransferSpec::new(a, c, 5_000_000, SimTime::ZERO);
+        let analytic = sim.single_flow_time(&spec).unwrap();
+        let recs = sim.run(vec![spec]);
+        let simd = recs[0].finished - recs[0].started;
+        let err = (analytic.as_secs_f64() - simd.as_secs_f64()).abs()
+            / analytic.as_secs_f64();
+        assert!(err < 0.01, "analytic {analytic} vs sim {simd}");
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_equally() {
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let bytes = 2_000_000;
+        let recs = sim.run(vec![
+            TransferSpec::new(a, c, bytes, SimTime::ZERO),
+            TransferSpec::new(b, d, bytes, SimTime::ZERO),
+        ]);
+        // Equal demands on the shared T1: both take ~2x the solo time.
+        let solo = bytes as f64 / LinkClass::T1.bytes_per_sec();
+        for r in &recs {
+            let got = r.duration().as_secs_f64();
+            assert!(
+                (got - 2.0 * solo).abs() / (2.0 * solo) < 0.05,
+                "got {got}, want ~{}",
+                2.0 * solo
+            );
+        }
+    }
+
+    #[test]
+    fn finished_flow_releases_bandwidth() {
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let small = 500_000;
+        let big = 4_000_000;
+        let recs = sim.run(vec![
+            TransferSpec::new(a, c, small, SimTime::ZERO),
+            TransferSpec::new(b, d, big, SimTime::ZERO),
+        ]);
+        // While both run, each gets half; after the small one drains the
+        // big one speeds up. Expected drain time for big flow:
+        // small drains at t1 = 2*small/C; big then has big - small left at C.
+        let cap = LinkClass::T1.bytes_per_sec();
+        let expect = (2.0 * small as f64 / cap) + (big - small) as f64 / cap;
+        let got = recs[1].duration().as_secs_f64();
+        assert!((got - expect).abs() / expect < 0.05, "got {got} want {expect}");
+    }
+
+    #[test]
+    fn window_cap_limits_long_fat_pipe() {
+        // HIPPI coast-to-coast: 800 Mb/s but 30 ms one-way. A 64 KB TCP
+        // window caps the rate at w/RTT ~= 1.09 MB/s — the era's lesson.
+        let mut net = Net::new();
+        let x = net.add_site("x");
+        let y = net.add_site("y");
+        net.add_link(x, y, LinkClass::HippiSonet800, Dur::from_millis(30));
+        let sim = FlowSim::new(&net);
+        let bytes = 10_000_000;
+        let capped = sim.run(vec![
+            TransferSpec::new(x, y, bytes, SimTime::ZERO).with_window(64 * 1024)
+        ]);
+        let uncapped = sim.run(vec![TransferSpec::new(x, y, bytes, SimTime::ZERO)]);
+        let w_rate = 64.0 * 1024.0 / 0.060;
+        let capped_expect = bytes as f64 / w_rate;
+        let got = capped[0].duration().as_secs_f64();
+        assert!(
+            (got - capped_expect).abs() / capped_expect < 0.05,
+            "got {got} want {capped_expect}"
+        );
+        assert!(
+            capped[0].duration().as_secs_f64() > 50.0 * uncapped[0].duration().as_secs_f64(),
+            "window cap must dominate on a long fat pipe"
+        );
+    }
+
+    #[test]
+    fn staggered_arrivals() {
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let cap = LinkClass::T1.bytes_per_sec();
+        // Flow 1 alone for 5 s, then flow 2 joins.
+        let recs = sim.run(vec![
+            TransferSpec::new(a, c, (10.0 * cap) as u64, SimTime::ZERO),
+            TransferSpec::new(b, d, (1.0 * cap) as u64, SimTime::from_secs_f64(5.0)),
+        ]);
+        // Flow 2 shares: rate cap/2 -> 2 s to move 1 s worth.
+        let d2 = recs[1].duration().as_secs_f64();
+        assert!((d2 - 2.0).abs() < 0.1, "flow2 {d2}");
+        // Flow 1: 5 s alone (5 cap) + 2 s shared (1 cap) + 4 s alone = 11 s.
+        let d1 = recs[0].duration().as_secs_f64();
+        assert!((d1 - 11.0).abs() < 0.2, "flow1 {d1}");
+    }
+
+    #[test]
+    fn maxmin_respects_caps_and_capacity() {
+        let (net, a, b, c, d) = dumbbell();
+        let ra = net.route(a, c).unwrap();
+        let rb = net.route(b, d).unwrap();
+        let cap_t1 = LinkClass::T1.bytes_per_sec();
+        // Flow A capped well below fair share; flow B takes the rest.
+        let rates = maxmin_rates(
+            &net,
+            &[(ra.dirs.as_slice(), cap_t1 * 0.1), (rb.dirs.as_slice(), f64::INFINITY)],
+        );
+        assert!((rates[0] - cap_t1 * 0.1).abs() < 1.0);
+        assert!((rates[1] - cap_t1 * 0.9).abs() / cap_t1 < 0.01);
+        // Total never exceeds capacity.
+        assert!(rates[0] + rates[1] <= cap_t1 * 1.0001);
+    }
+
+    #[test]
+    fn stats_account_all_bytes() {
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let (recs, stats) = sim.run_with_stats(vec![
+            TransferSpec::new(a, c, 1_000_000, SimTime::ZERO),
+            TransferSpec::new(b, d, 500_000, SimTime::ZERO),
+        ]);
+        assert_eq!(recs.len(), 2);
+        // Both flows cross the shared T1 in the same direction: the link
+        // must have carried the sum (allowing sub-ns residue).
+        let (busiest, bytes) = stats.busiest(1)[0];
+        assert!((bytes - 1_500_000.0).abs() < 1.0, "carried {bytes}");
+        let util = stats.utilization(&net, busiest);
+        assert!(util > 0.9 && util <= 1.0001, "bottleneck util {util}");
+    }
+
+    #[test]
+    fn background_traffic_slows_staging() {
+        // The consortium staging story under load: background flows on
+        // the shared backbone stretch a foreground transfer.
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let fg = TransferSpec::new(a, c, 2_000_000, SimTime::ZERO);
+        let quiet = sim.run(vec![fg.clone()])[0].duration();
+        let bg: Vec<TransferSpec> = (0..3)
+            .map(|_| TransferSpec::new(b, d, 50_000_000, SimTime::ZERO))
+            .collect();
+        let mut all = vec![fg];
+        all.extend(bg);
+        let busy = sim.run(all)[0].duration();
+        let ratio = busy.as_secs_f64() / quiet.as_secs_f64();
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "4 equal flows on one pipe: expected ~4x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn records_keep_spec_order() {
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let recs = sim.run(vec![
+            TransferSpec::new(b, d, 100, SimTime::from_secs_f64(3.0)),
+            TransferSpec::new(a, c, 100, SimTime::ZERO),
+        ]);
+        assert_eq!(recs[0].spec.src, b, "order preserved despite later start");
+        assert_eq!(recs[1].spec.src, a);
+        assert!(recs[0].started > recs[1].started);
+    }
+}

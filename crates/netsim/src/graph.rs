@@ -1,0 +1,236 @@
+//! The network graph: named sites, duplex links, and latency-shortest
+//! routing (Dijkstra). Routes are computed per flow and pinned for the
+//! flow's lifetime, as 1992 static routing did.
+
+use crate::link::{Link, LinkClass, SiteId};
+use des::time::Dur;
+use std::collections::BinaryHeap;
+
+/// Index of a *directed* capacity resource: link `i` direction a→b is
+/// `2*i`, direction b→a is `2*i + 1`.
+pub type DirLinkId = usize;
+
+/// A WAN topology under construction or in use.
+#[derive(Debug, Clone, Default)]
+pub struct Net {
+    names: Vec<String>,
+    links: Vec<Link>,
+    /// adjacency: per site, list of (link index, neighbour).
+    adj: Vec<Vec<(usize, SiteId)>>,
+}
+
+impl Net {
+    pub fn new() -> Net {
+        Net::default()
+    }
+
+    /// Add a named site, returning its id.
+    pub fn add_site(&mut self, name: impl Into<String>) -> SiteId {
+        self.names.push(name.into());
+        self.adj.push(Vec::new());
+        self.names.len() - 1
+    }
+
+    /// Add a duplex link between two sites.
+    pub fn add_link(&mut self, a: SiteId, b: SiteId, class: LinkClass, latency: Dur) {
+        assert!(a < self.sites() && b < self.sites() && a != b);
+        let idx = self.links.len();
+        self.links.push(Link {
+            a,
+            b,
+            class,
+            latency,
+        });
+        self.adj[a].push((idx, b));
+        self.adj[b].push((idx, a));
+    }
+
+    pub fn sites(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    pub fn name(&self, s: SiteId) -> &str {
+        &self.names[s]
+    }
+
+    /// Find a site by name.
+    pub fn site(&self, name: &str) -> Option<SiteId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Capacity of a directed resource, bytes/s.
+    pub fn capacity(&self, d: DirLinkId) -> f64 {
+        self.links[d / 2].capacity()
+    }
+
+    /// The directed resource for traversing link `idx` out of site `from`.
+    fn dir_id(&self, idx: usize, from: SiteId) -> DirLinkId {
+        if self.links[idx].a == from {
+            2 * idx
+        } else {
+            2 * idx + 1
+        }
+    }
+
+    /// Total directed resources (for flat rate vectors).
+    pub fn dir_links(&self) -> usize {
+        2 * self.links.len()
+    }
+
+    /// Latency-shortest route from `src` to `dst`: the list of directed
+    /// resources traversed, or `None` if unreachable.
+    pub fn route(&self, src: SiteId, dst: SiteId) -> Option<Route> {
+        if src == dst {
+            return Some(Route {
+                dirs: Vec::new(),
+                latency: Dur::ZERO,
+            });
+        }
+        // Dijkstra on propagation latency (ns), tie-broken by hop count
+        // then site id for determinism.
+        let n = self.sites();
+        let mut dist = vec![(u64::MAX, u32::MAX); n];
+        let mut prev: Vec<Option<(SiteId, usize)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = (0, 0);
+        heap.push(std::cmp::Reverse((0u64, 0u32, src)));
+        while let Some(std::cmp::Reverse((d, hops, u))) = heap.pop() {
+            if (d, hops) > dist[u] {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            for &(idx, v) in &self.adj[u] {
+                let nd = d + self.links[idx].latency.nanos();
+                let nh = hops + 1;
+                if (nd, nh) < dist[v] {
+                    dist[v] = (nd, nh);
+                    prev[v] = Some((u, idx));
+                    heap.push(std::cmp::Reverse((nd, nh, v)));
+                }
+            }
+        }
+        if dist[dst].0 == u64::MAX {
+            return None;
+        }
+        let mut dirs = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let (p, idx) = prev[cur].expect("path exists");
+            dirs.push(self.dir_id(idx, p));
+            cur = p;
+        }
+        dirs.reverse();
+        Some(Route {
+            dirs,
+            latency: Dur::from_nanos(dist[dst].0),
+        })
+    }
+
+    /// Single-flow achievable rate along the route (min capacity), bytes/s.
+    pub fn bottleneck(&self, route: &Route) -> f64 {
+        route
+            .dirs
+            .iter()
+            .map(|&d| self.capacity(d))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A pinned path through the network.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Directed resources traversed, in order.
+    pub dirs: Vec<DirLinkId>,
+    /// End-to-end one-way propagation delay.
+    pub latency: Dur,
+}
+
+impl Route {
+    pub fn hops(&self) -> usize {
+        self.dirs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Net, SiteId, SiteId, SiteId) {
+        let mut net = Net::new();
+        let a = net.add_site("A");
+        let b = net.add_site("B");
+        let c = net.add_site("C");
+        net.add_link(a, b, LinkClass::T3, Dur::from_millis(5));
+        net.add_link(b, c, LinkClass::T1, Dur::from_millis(5));
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn route_follows_line() {
+        let (net, a, _, c) = line3();
+        let r = net.route(a, c).unwrap();
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.latency, Dur::from_millis(10));
+    }
+
+    #[test]
+    fn bottleneck_is_slowest_link() {
+        let (net, a, _, c) = line3();
+        let r = net.route(a, c).unwrap();
+        assert_eq!(net.bottleneck(&r), LinkClass::T1.bytes_per_sec());
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let (net, a, ..) = line3();
+        let r = net.route(a, a).unwrap();
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.latency, Dur::ZERO);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut net = Net::new();
+        let a = net.add_site("A");
+        let _b = net.add_site("island");
+        let c = net.add_site("C");
+        net.add_link(a, c, LinkClass::T1, Dur::from_millis(1));
+        assert!(net.route(a, 1).is_none());
+    }
+
+    #[test]
+    fn dijkstra_prefers_lower_latency_even_with_more_hops() {
+        let mut net = Net::new();
+        let a = net.add_site("A");
+        let b = net.add_site("B");
+        let c = net.add_site("C");
+        net.add_link(a, b, LinkClass::T1, Dur::from_millis(50));
+        net.add_link(a, c, LinkClass::T3, Dur::from_millis(10));
+        net.add_link(c, b, LinkClass::T3, Dur::from_millis(10));
+        let r = net.route(a, b).unwrap();
+        assert_eq!(r.hops(), 2, "two fast hops beat one slow hop");
+        assert_eq!(r.latency, Dur::from_millis(20));
+    }
+
+    #[test]
+    fn directions_are_distinct_resources() {
+        let (net, a, b, _) = line3();
+        let fwd = net.route(a, b).unwrap();
+        let back = net.route(b, a).unwrap();
+        assert_ne!(fwd.dirs[0], back.dirs[0]);
+        assert_eq!(fwd.dirs[0] / 2, back.dirs[0] / 2, "same physical link");
+    }
+
+    #[test]
+    fn site_lookup_by_name() {
+        let (net, _, b, _) = line3();
+        assert_eq!(net.site("B"), Some(b));
+        assert_eq!(net.site("nope"), None);
+    }
+}

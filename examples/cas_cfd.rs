@@ -1,0 +1,86 @@
+//! The CAS consortium scenario (exhibits T4-5b/6): an aerospace partner
+//! runs a CFD job on the Delta — stage the input deck over the
+//! consortium network, run the halo-exchange solver on the simulated
+//! 528-node machine, retrieve the result field, and check whether remote
+//! visualisation is feasible from that partner's seat.
+//!
+//! Run with: `cargo run --release --example cas_cfd`
+
+use hpcc::prelude::*;
+use hpcc_kernels::sim::stencil;
+use nren_netsim::workload;
+
+fn main() {
+    println!("CAS consortium members:");
+    println!(
+        "  industry: {}",
+        hpcc_core::consortium::CAS_INDUSTRY.join(", ")
+    );
+    println!(
+        "  academia: {}\n",
+        hpcc_core::consortium::CAS_ACADEMIA.join(", ")
+    );
+
+    let net = topologies::delta_consortium();
+    let delta_site = net.site(topologies::DELTA_SITE).unwrap();
+    let sim = FlowSim::new(&net);
+
+    // Boeing works through NASA Ames' T1 attachment in this scenario.
+    let seat = net.site("NASA Ames").unwrap();
+    let grid = 2048usize;
+    let field_bytes = (grid * grid * 8) as u64; // one double per point
+
+    // --- 1. Stage the input deck. -----------------------------------------
+    let stage = sim
+        .single_flow_time(&TransferSpec::new(seat, delta_site, field_bytes, SimTime::ZERO))
+        .unwrap();
+    println!(
+        "stage {}^2 field ({} MB) from NASA Ames over T1: {:.1} min",
+        grid,
+        field_bytes >> 20,
+        stage.as_secs_f64() / 60.0
+    );
+
+    // --- 2. Run the solver on the simulated Delta. -------------------------
+    let delta = Machine::new(presets::delta_528());
+    let sweeps = 200;
+    let r = stencil::run_model(&delta, grid, sweeps);
+    println!(
+        "run {sweeps} sweeps on {} nodes ({}x{} decomposition): {:.2} s virtual, {:.2} GFLOPS",
+        delta.config().nodes(),
+        r.grid.0,
+        r.grid.1,
+        r.seconds,
+        r.gflops
+    );
+
+    // --- 3. Retrieve the result. -------------------------------------------
+    let retrieve = sim
+        .single_flow_time(&TransferSpec::new(delta_site, seat, field_bytes, SimTime::ZERO))
+        .unwrap();
+    println!(
+        "retrieve result field: {:.1} min",
+        retrieve.as_secs_f64() / 60.0
+    );
+    let total = stage.as_secs_f64() + r.seconds + retrieve.as_secs_f64();
+    let network_share = (stage.as_secs_f64() + retrieve.as_secs_f64()) / total * 100.0;
+    println!(
+        "\nend-to-end: {:.1} min — {network_share:.0}% of it is the network.",
+        total / 60.0
+    );
+
+    // --- 4. Could they watch it live instead? ------------------------------
+    println!("\nremote visualisation feasibility (1 MB frames, 24 fps):");
+    for name in ["JPL", "NASA Ames", "Purdue"] {
+        let viewer = net.site(name).unwrap();
+        let (req, ach, ok) =
+            workload::visualization_feasibility(&net, delta_site, viewer, 1 << 20, 24.0);
+        println!(
+            "  {name:12} needs {:6.1} MB/s, link gives {:8.3} MB/s -> {}",
+            req / 1e6,
+            ach / 1e6,
+            if ok { "FEASIBLE (HIPPI)" } else { "infeasible" }
+        );
+    }
+    println!("\n  -> exactly the split the deck sells: HIPPI sites interact, T1 sites batch.");
+}

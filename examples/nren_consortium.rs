@@ -1,0 +1,73 @@
+//! The NREN story: partners reaching the Delta over 1992's networks, the
+//! T1 → T3 → gigabit upgrade, and why TCP windows made "gigabit" a
+//! research program (exhibits T4-5a/b/c).
+//!
+//! Run with: `cargo run --release --example nren_consortium`
+
+use hpcc::prelude::*;
+use nren_netsim::workload;
+
+fn main() {
+    let net = topologies::delta_consortium();
+    let delta = net.site(topologies::DELTA_SITE).unwrap();
+    let sim = FlowSim::new(&net);
+
+    // --- Per-partner access (the topology figure, as numbers). -----------
+    println!("Delta Consortium: time to stage a 100 MB input deck to Caltech\n");
+    let mut rows: Vec<(String, f64)> = topologies::partner_sites(&net)
+        .into_iter()
+        .map(|p| {
+            let t = sim
+                .single_flow_time(&TransferSpec::new(p, delta, 100 << 20, SimTime::ZERO))
+                .unwrap()
+                .as_secs_f64();
+            (net.name(p).to_string(), t)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, secs) in &rows {
+        let human = if *secs < 60.0 {
+            format!("{secs:.1} s")
+        } else if *secs < 3600.0 {
+            format!("{:.1} min", secs / 60.0)
+        } else {
+            format!("{:.1} h", secs / 3600.0)
+        };
+        println!("  {name:24} {human:>10}");
+    }
+    println!(
+        "\n  fastest/slowest ratio: {:.0}x — the figure's six link classes, quantified",
+        rows.last().unwrap().1 / rows[0].1
+    );
+
+    // --- Everyone at once: fair sharing on the backbone. -----------------
+    let partners = topologies::partner_sites(&net);
+    let (staging, _) = workload::stage_and_retrieve(&partners, delta, 100 << 20, 0);
+    let recs = sim.run(staging);
+    let makespan = recs.iter().map(|r| r.finished).max().unwrap();
+    println!(
+        "\nConcurrent staging from all {} partners: makespan {}",
+        partners.len(),
+        makespan
+    );
+
+    // --- The TCP window lesson on the CASA gigabit testbed. --------------
+    let casa = topologies::casa_testbed();
+    let cal = casa.site(topologies::DELTA_SITE).unwrap();
+    let lanl = casa.site("Los Alamos").unwrap();
+    let csim = FlowSim::new(&casa);
+    println!("\nCASA HIPPI/SONET (800 Mb/s), Caltech -> Los Alamos, 1 GB field:");
+    for w in [Some(64 << 10), Some(1 << 20), Some(8 << 20), None] {
+        let mut spec = TransferSpec::new(cal, lanl, 1 << 30, SimTime::ZERO);
+        if let Some(w) = w {
+            spec = spec.with_window(w);
+        }
+        let t = csim.single_flow_time(&spec).unwrap().as_secs_f64();
+        let label = w.map_or("no window cap".to_string(), |w| {
+            format!("{:4} KB window", w >> 10)
+        });
+        println!("  {label:16} {:7.1} MB/s  ({t:.1} s)", (1u64 << 30) as f64 / t / 1e6);
+    }
+    println!("\n  -> the pipe is there; 1992 protocols can't fill it. Hence NREN's");
+    println!("     'programs in protocols and security' line in exhibit T4-2.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the whole reproduction in one minute.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Walks one layer at a time: the program model (the paper's tables), the
+//! simulated Touchstone Delta (the paper's machine), and the consortium
+//! network (the paper's connectivity figure).
+
+use hpcc::prelude::*;
+
+fn main() {
+    // --- 1. The program the paper describes. -----------------------------
+    let funding = FundingTable::fy1992_93();
+    println!("The Federal HPCC Program, FY92-93:");
+    println!(
+        "  total budget {} -> {} $M ({:+.1}%)",
+        funding.total(FiscalYear::Fy1992),
+        funding.total(FiscalYear::Fy1993),
+        funding.total_growth_pct()
+    );
+    for goal in hpcc_core::GOALS {
+        println!("  goal: {goal}");
+    }
+
+    // --- 2. The machine the consortium bought. ---------------------------
+    let delta = Machine::new(presets::delta_528());
+    println!(
+        "\nTouchstone Delta: {} nodes, peak {:.1} GFLOPS (paper says 32)",
+        delta.config().nodes(),
+        delta.config().peak_flops() / 1e9
+    );
+
+    // Run a real message-passing program on all 528 simulated nodes:
+    // a global sum, then a 1 MFLOP dgemm burst per node.
+    let (sums, report) = delta.run(|node| async move {
+        let comm = Comm::world(&node);
+        node.compute(Kernel::Dgemm, 1.0e6).await;
+        comm.allreduce_sum(&[node.rank() as f64]).await[0]
+    });
+    let expect = (527 * 528 / 2) as f64;
+    assert!(sums.iter().all(|&s| s == expect));
+    println!(
+        "  528-node allreduce agreed on {} in {} of virtual time ({} messages)",
+        expect, report.elapsed, report.messages
+    );
+
+    // --- 3. The network that reaches it. ---------------------------------
+    let net = topologies::delta_consortium();
+    let delta_site = net.site(topologies::DELTA_SITE).unwrap();
+    let sim = FlowSim::new(&net);
+    for name in ["JPL", "Rice (CRPC)", "Purdue"] {
+        let site = net.site(name).unwrap();
+        let t = sim
+            .single_flow_time(&TransferSpec::new(site, delta_site, 10 << 20, SimTime::ZERO))
+            .unwrap();
+        println!("  staging 10 MB from {name:12} takes {t}");
+    }
+    println!("\nEverything above ran deterministically — same output every time.");
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration: the simulated machine, the kernels, and the
+//! network stack working together — and agreeing with host-side
+//! reference implementations.
+
+use delta_mesh::{presets, Comm, Kernel, Machine, Payload};
+use des::rng::Rng;
+use hpcc_kernels::lu::{lu_factor, lu_solve};
+use hpcc_kernels::mat::vecops::norm_inf;
+use hpcc_kernels::mat::Mat;
+use hpcc_kernels::sim::{lu1d, stencil};
+
+/// The distributed LU on the simulated mesh solves the same systems the
+/// host LU does, to LINPACK accuracy, across machine shapes and block
+/// sizes.
+#[test]
+fn simulated_lu_verified_across_shapes() {
+    for (rows, cols, n, nb) in [(1usize, 2usize, 20usize, 2usize), (2, 2, 40, 4), (2, 3, 36, 8)] {
+        let m = Machine::new(presets::delta(rows, cols));
+        let r = lu1d::run(&m, n, nb, 2026);
+        assert!(
+            r.residual < 16.0,
+            "{rows}x{cols} n={n} nb={nb}: residual {}",
+            r.residual
+        );
+    }
+}
+
+/// Simulated halo-exchange Jacobi equals the host solver bit-for-bit on
+/// every process-grid shape (including shapes that don't divide the grid).
+#[test]
+fn simulated_stencil_bitwise_matches_host() {
+    for (rows, cols) in [(1usize, 2usize), (2, 2), (2, 3), (1, 5)] {
+        let m = Machine::new(presets::delta(rows, cols));
+        let r = stencil::run_verified(&m, 19, 35);
+        assert_eq!(r.max_error, Some(0.0), "{rows}x{cols}");
+    }
+}
+
+/// A full mini-workflow: factor on the simulated machine, then check the
+/// same matrix against the host factorisation's solution.
+#[test]
+fn host_and_simulated_agree_on_the_answer() {
+    // Build the deterministic matrix the simulated nodes generate, on
+    // the host, and solve both ways.
+    let n = 32;
+    let seed = 77u64;
+    let entry = |i: usize, j: usize| {
+        let mut r = Rng::new(seed ^ ((i as u64) << 32) ^ j as u64);
+        r.range_f64(-1.0, 1.0)
+    };
+    let a = Mat::from_fn(n, n, entry);
+    let b: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut r = Rng::new((seed + 1) ^ ((i as u64) << 32));
+            r.range_f64(-1.0, 1.0)
+        })
+        .collect();
+
+    // Host solution.
+    let mut f = a.clone();
+    let piv = lu_factor(&mut f, 4).unwrap();
+    let x_host = lu_solve(&f, &piv, &b);
+    let r_host = {
+        let ax = a.matvec(&x_host);
+        norm_inf(&ax.iter().zip(&b).map(|(p, q)| p - q).collect::<Vec<_>>())
+    };
+
+    // Simulated machine solves the same system (same generator).
+    let m = Machine::new(presets::delta(2, 2));
+    let r_sim = lu1d::run(&m, n, 4, seed);
+
+    assert!(r_host < 1e-10, "host residual {r_host}");
+    assert!(r_sim.residual < 16.0, "sim residual {}", r_sim.residual);
+}
+
+/// Collectives compose with compute across a realistic program: parallel
+/// dot product of distributed vectors, checked against the host value.
+#[test]
+fn distributed_dot_product_matches_host() {
+    let p = 6;
+    let len = 300; // 50 elements per node
+    let host: f64 = (0..len).map(|i| (i as f64) * (i as f64 + 1.0)).sum();
+    let m = Machine::new(presets::delta(2, 3));
+    let (outs, report) = m.run(move |node| async move {
+        let comm = Comm::world(&node);
+        let chunk = len / p;
+        let lo = node.rank() * chunk;
+        let local: f64 = (lo..lo + chunk).map(|i| (i as f64) * (i as f64 + 1.0)).sum();
+        node.compute(Kernel::Daxpy, 2.0 * chunk as f64).await;
+        comm.allreduce_sum(&[local]).await[0]
+    });
+    for v in outs {
+        assert_eq!(v, host);
+    }
+    assert!(report.elapsed.nanos() > 0);
+}
+
+/// The same node program produces identical *virtual-time* results on
+/// repeated runs, but different machines disagree (they must — that is
+/// the point of modelling three generations).
+#[test]
+fn virtual_time_depends_on_machine_not_host() {
+    // Communication-heavy on identical i860 nodes: only the network
+    // generation differs between the machines.
+    let program = |node: delta_mesh::Node| async move {
+        let comm = Comm::world(&node);
+        node.compute(Kernel::Dgemm, 1.0e6).await;
+        for _ in 0..4 {
+            comm.bcast_virtual(0, 1 << 22).await;
+        }
+        comm.barrier().await;
+    };
+    let run = |m: &Machine| {
+        let (_, r) = m.run(program);
+        r.elapsed
+    };
+    let gamma = Machine::new(presets::ipsc860(4));
+    let delta = Machine::new(presets::delta(4, 4));
+    let t_gamma = run(&gamma);
+    let t_delta = run(&delta);
+    assert_eq!(t_gamma, run(&gamma), "deterministic replay");
+    assert_eq!(t_delta, run(&delta), "deterministic replay");
+    assert!(
+        t_gamma > t_delta * 2,
+        "iPSC {t_gamma} should be much slower than Delta {t_delta}"
+    );
+}
+
+/// Payload variants interoperate: real data arrives intact while virtual
+/// payloads only cost time.
+#[test]
+fn payload_kinds_roundtrip() {
+    let m = Machine::new(presets::delta(1, 2));
+    let (outs, report) = m.run(|node| async move {
+        match node.rank() {
+            0 => {
+                node.send_f64s(1, 1, &[1.5, 2.5]).await;
+                node.send(1, 2, Payload::Bytes(bytes::Bytes::from_static(b"hpcc")))
+                    .await;
+                node.send_virtual(1, 3, 1 << 20).await;
+                0.0
+            }
+            1 => {
+                let d = node.recv_f64s(Some(0), Some(1)).await;
+                let b = node.recv(Some(0), Some(2)).await;
+                let v = node.recv(Some(0), Some(3)).await;
+                assert_eq!(b.payload.len_bytes(), 4);
+                assert_eq!(v.payload.len_bytes(), 1 << 20);
+                d[0] + d[1]
+            }
+            _ => 0.0,
+        }
+    });
+    assert_eq!(outs[1], 4.0);
+    assert_eq!(report.bytes, 16 + 4 + (1 << 20));
+}
+
+/// End-to-end consortium scenario: compute on the Delta model + network
+/// staging composes into one number, and the network dominates for the
+/// T1-attached partner (the cas_cfd example's claim).
+#[test]
+fn network_dominates_t1_partner_workflow() {
+    use des::time::SimTime;
+    use nren_netsim::{topologies, FlowSim, TransferSpec};
+
+    let net = topologies::delta_consortium();
+    let delta_site = net.site(topologies::DELTA_SITE).unwrap();
+    let seat = net.site("NASA Ames").unwrap();
+    let sim = FlowSim::new(&net);
+    let field = 8 * 1024 * 1024u64;
+    let stage = sim
+        .single_flow_time(&TransferSpec::new(seat, delta_site, field, SimTime::ZERO))
+        .unwrap()
+        .as_secs_f64();
+
+    let machine = Machine::new(presets::delta(8, 8));
+    let solve = stencil::run_model(&machine, 1024, 50).seconds;
+    assert!(
+        stage > 5.0 * solve,
+        "staging {stage}s vs solve {solve}s — T1 must dominate"
+    );
+}
