@@ -4,8 +4,21 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use des::rng::Rng;
-use hpcc_kernels::{cfd, cg, fft, lu, mat::Mat, matmul, nbody, shallow};
+use hpcc_kernels::{cfd, cg, fft, gemm, lu, mat::Mat, matmul, nbody, shallow};
 use std::hint::black_box;
+
+/// Thread counts for the scaling sweeps: 1, 2, 4, ... up to the machine.
+fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut ts = vec![1];
+    while ts.last().unwrap() * 2 <= max {
+        ts.push(ts.last().unwrap() * 2);
+    }
+    if *ts.last().unwrap() != max {
+        ts.push(max);
+    }
+    ts
+}
 
 fn bench_matmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/matmul");
@@ -27,24 +40,73 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
+/// The packed engine vs the cache-blocked baseline, then the parallel
+/// path across the thread sweep — the GC-1 "who scales" series for
+/// BLAS3.
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/gemm");
+    for n in [256usize, 512, 1024] {
+        let mut rng = Rng::new(1);
+        let a = Mat::random(n, n, &mut rng);
+        let b = Mat::random(n, n, &mut rng);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        if n <= 512 {
+            g.bench_with_input(BenchmarkId::new("blocked48", n), &n, |bn, _| {
+                bn.iter(|| black_box(matmul::matmul_blocked(&a, &b, 48)))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("packed_seq", n), &n, |bn, _| {
+            bn.iter(|| black_box(gemm::gemm(&a, &b)))
+        });
+        for t in thread_sweep() {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("pool");
+            g.bench_with_input(
+                BenchmarkId::new(format!("packed_par_t{t}"), n),
+                &n,
+                |bn, _| bn.iter(|| pool.install(|| black_box(gemm::gemm_par(&a, &b)))),
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_lu(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/lu");
-    for n in [128usize, 256] {
+    for n in [128usize, 256, 512, 1024] {
         let mut rng = Rng::new(2);
         let a = Mat::random(n, n, &mut rng);
+        let nb = if n <= 256 { 16 } else { 64 };
         g.throughput(Throughput::Elements(lu::linpack_flops(n) as u64));
-        g.bench_with_input(BenchmarkId::new("seq_nb16", n), &n, |bn, _| {
+        g.bench_with_input(BenchmarkId::new(format!("seq_nb{nb}"), n), &n, |bn, _| {
             bn.iter(|| {
                 let mut f = a.clone();
-                black_box(lu::lu_factor(&mut f, 16).unwrap())
+                black_box(lu::lu_factor(&mut f, nb).unwrap())
             })
         });
-        g.bench_with_input(BenchmarkId::new("rayon_nb16", n), &n, |bn, _| {
-            bn.iter(|| {
-                let mut f = a.clone();
-                black_box(lu::lu_factor_par(&mut f, 16).unwrap())
-            })
-        });
+        for t in thread_sweep() {
+            if t == 1 {
+                continue; // the seq row above is the 1-thread point
+            }
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("pool");
+            g.bench_with_input(
+                BenchmarkId::new(format!("rayon_nb{nb}_t{t}"), n),
+                &n,
+                |bn, _| {
+                    bn.iter(|| {
+                        pool.install(|| {
+                            let mut f = a.clone();
+                            black_box(lu::lu_factor_par(&mut f, nb).unwrap())
+                        })
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -81,9 +143,7 @@ fn bench_stencil(c: &mut Criterion) {
 fn bench_shallow(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/shallow");
     for m in [64usize, 192] {
-        g.throughput(Throughput::Elements(
-            (10.0 * shallow::step_flops(m)) as u64,
-        ));
+        g.throughput(Throughput::Elements((10.0 * shallow::step_flops(m)) as u64));
         g.bench_with_input(BenchmarkId::new("steps10_seq", m), &m, |bn, _| {
             bn.iter(|| {
                 let mut sw = shallow::Shallow::new(m);
@@ -185,6 +245,7 @@ criterion_group!(
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
     targets = bench_matmul,
+    bench_gemm,
     bench_lu,
     bench_stencil,
     bench_shallow,

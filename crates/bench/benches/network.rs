@@ -16,8 +16,7 @@ fn bench_consortium_staging(c: &mut Criterion) {
     for mb in [10u64, 100] {
         g.bench_with_input(BenchmarkId::new("stage_all", mb), &mb, |bn, &mb| {
             bn.iter(|| {
-                let (staging, _) =
-                    workload::stage_and_retrieve(&partners, delta, mb << 20, 0);
+                let (staging, _) = workload::stage_and_retrieve(&partners, delta, mb << 20, 0);
                 let sim = FlowSim::new(&net);
                 let recs = sim.run(staging);
                 black_box(recs.iter().map(|r| r.finished).max())
@@ -37,8 +36,7 @@ fn bench_backbone_load(c: &mut Criterion) {
             |bn, _| {
                 bn.iter(|| {
                     let mut rng = Rng::new(42);
-                    let specs =
-                        workload::poisson_traffic(&net, &mut rng, 3.0, 2e6, 100.0);
+                    let specs = workload::poisson_traffic(&net, &mut rng, 3.0, 2e6, 100.0);
                     let sim = FlowSim::new(&net);
                     black_box(sim.run(specs).len())
                 })
@@ -90,8 +88,9 @@ fn bench_window_ablation(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("window", w >> 10), &w, |bn, &w| {
             bn.iter(|| {
                 let sim = FlowSim::new(&net);
-                let recs = sim.run(vec![TransferSpec::new(cal, lanl, 1 << 30, SimTime::ZERO)
-                    .with_window(w)]);
+                let recs = sim.run(vec![
+                    TransferSpec::new(cal, lanl, 1 << 30, SimTime::ZERO).with_window(w)
+                ]);
                 black_box(recs[0].duration())
             })
         });

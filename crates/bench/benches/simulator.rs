@@ -77,32 +77,24 @@ fn bench_collectives(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_collectives");
     for (label, rows, cols) in [("64n", 8usize, 8usize), ("528n", 16, 33)] {
         let machine = Machine::new(presets::delta(rows, cols));
-        g.bench_with_input(
-            BenchmarkId::new("allreduce8B", label),
-            &label,
-            |bn, _| {
-                bn.iter(|| {
-                    let (_, r) = machine.run(|node| async move {
-                        let comm = Comm::world(&node);
-                        comm.allreduce_sum(&[node.rank() as f64]).await;
-                    });
-                    black_box(r.elapsed)
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("bcast1MB", label),
-            &label,
-            |bn, _| {
-                bn.iter(|| {
-                    let (_, r) = machine.run(|node| async move {
-                        let comm = Comm::world(&node);
-                        comm.bcast_virtual(0, 1 << 20).await;
-                    });
-                    black_box(r.elapsed)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("allreduce8B", label), &label, |bn, _| {
+            bn.iter(|| {
+                let (_, r) = machine.run(|node| async move {
+                    let comm = Comm::world(&node);
+                    comm.allreduce_sum(&[node.rank() as f64]).await;
+                });
+                black_box(r.elapsed)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bcast1MB", label), &label, |bn, _| {
+            bn.iter(|| {
+                let (_, r) = machine.run(|node| async move {
+                    let comm = Comm::world(&node);
+                    comm.bcast_virtual(0, 1 << 20).await;
+                });
+                black_box(r.elapsed)
+            })
+        });
     }
     g.finish();
 }

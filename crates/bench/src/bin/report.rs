@@ -5,7 +5,19 @@
 //! delta-linpack, linpack-sweep, mpp-series, consortium-net,
 //! nren-upgrade, casa, cas, grand-challenges, fft-scaling, index.
 
-use hpcc_bench::exhibits as ex;
+use hpcc_bench::{exhibits as ex, perf};
+
+/// Measure the host kernels, print the table, and drop the machine-
+/// readable snapshot next to the working directory.
+fn bench_kernels() -> String {
+    let rows = perf::snapshot();
+    let json = perf::json(&rows);
+    let path = "BENCH_kernels.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => format!("{}\nwrote {path}", perf::table(&rows)),
+        Err(e) => format!("{}\ncould not write {path}: {e}", perf::table(&rows)),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +43,7 @@ fn main() {
             "ablations" => ex::ablations(),
             "kernel-profile" => ex::kernel_profile(),
             "timeline" => ex::timeline(),
+            "bench-kernels" => bench_kernels(),
             "index" => ex::index(),
             _ => return None,
         })
@@ -70,7 +83,7 @@ fn main() {
                      responsibilities, funding, components, delta-peak, delta-linpack, \
                      linpack-sweep, mpp-series, consortium-net, nren-upgrade, casa, cas, \
                      grand-challenges, fft-scaling, \
-                     scheduler, ablations, kernel-profile, timeline"
+                     scheduler, ablations, kernel-profile, timeline, bench-kernels"
                 );
                 std::process::exit(2);
             }

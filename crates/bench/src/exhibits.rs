@@ -45,11 +45,7 @@ pub fn responsibilities() -> String {
                 }
             })
             .collect();
-        t.row(&[
-            vec![a.label().to_string()],
-            cells,
-        ]
-        .concat());
+        t.row(&[vec![a.label().to_string()], cells].concat());
     }
     let mut out = t.to_string();
     out.push_str(&format!("\n* {}\n", hpcc_core::responsibilities::FOOTNOTE));
@@ -160,11 +156,7 @@ pub fn delta_linpack() -> String {
         "Exhibit T4-4b — LINPACK on the Touchstone Delta (simulated)",
         &["Quantity", "Paper", "Simulated"],
     );
-    t.row(&[
-        "Order".into(),
-        "25,000".into(),
-        r.n.to_string(),
-    ]);
+    t.row(&["Order".into(), "25,000".into(), r.n.to_string()]);
     t.row(&[
         "LINPACK speed (GFLOPS)".into(),
         fnum(facts::LINPACK_GFLOPS, 1),
@@ -175,21 +167,13 @@ pub fn delta_linpack() -> String {
         fnum(facts::LINPACK_GFLOPS / facts::PEAK_GFLOPS, 2),
         fnum(r.efficiency, 2),
     ]);
-    t.row(&[
-        "Run time (s)".into(),
-        "-".into(),
-        fnum(r.seconds, 0),
-    ]);
+    t.row(&["Run time (s)".into(), "-".into(), fnum(r.seconds, 0)]);
     t.row(&[
         "Process grid".into(),
         "-".into(),
         format!("{} x {}", r.grid.0, r.grid.1),
     ]);
-    t.row(&[
-        "Messages".into(),
-        "-".into(),
-        r.report.messages.to_string(),
-    ]);
+    t.row(&["Messages".into(), "-".into(), r.report.messages.to_string()]);
     t.to_string()
 }
 
@@ -216,7 +200,14 @@ pub fn linpack_sweep() -> String {
 pub fn mpp_series() -> String {
     let mut t = Table::new(
         "Figure F-T4-4d — 'One of a series of DARPA developed massively parallel computers'",
-        &["Machine", "Nodes", "Peak GF", "LINPACK GF", "Eff %", "Order"],
+        &[
+            "Machine",
+            "Nodes",
+            "Peak GF",
+            "LINPACK GF",
+            "Eff %",
+            "Order",
+        ],
     );
     let runs: Vec<(Machine, usize)> = vec![
         (Machine::new(presets::ipsc860(7)), 8_000),
@@ -246,7 +237,13 @@ pub fn consortium_net() -> String {
     let sim = FlowSim::new(&net);
     let mut t = Table::new(
         "Exhibit T4-5a — Delta Consortium partners: connectivity to the Delta",
-        &["Partner site", "Hops", "RTT (ms)", "Bottleneck", "100 MB stage (s)"],
+        &[
+            "Partner site",
+            "Hops",
+            "RTT (ms)",
+            "Bottleneck",
+            "100 MB stage (s)",
+        ],
     );
     let bytes = 100 << 20;
     for p in topologies::partner_sites(&net) {
@@ -275,15 +272,9 @@ pub fn consortium_net() -> String {
     }
     // Concurrent staging: everyone pushes 100 MB at once.
     let partners = topologies::partner_sites(&net);
-    let (staging, _) =
-        nren_netsim::workload::stage_and_retrieve(&partners, delta, bytes, bytes);
+    let (staging, _) = nren_netsim::workload::stage_and_retrieve(&partners, delta, bytes, bytes);
     let recs = sim.run(staging);
-    let makespan = recs
-        .iter()
-        .map(|r| r.finished)
-        .max()
-        .unwrap()
-        .as_secs_f64();
+    let makespan = recs.iter().map(|r| r.finished).max().unwrap().as_secs_f64();
     let mut out = t.to_string();
     out.push_str(&format!(
         "\nConcurrent staging of 100 MB from all {} partners: makespan {:.0} s\n\
@@ -299,7 +290,12 @@ pub fn consortium_net() -> String {
 pub fn nren_upgrade() -> String {
     let mut t = Table::new(
         "Figure F-T4-5b — NREN backbone upgrade (coast-to-coast, 100 MB field)",
-        &["Backbone", "Single flow (s)", "w/ 64 KB TCP window (s)", "Speedup vs T1"],
+        &[
+            "Backbone",
+            "Single flow (s)",
+            "w/ 64 KB TCP window (s)",
+            "Speedup vs T1",
+        ],
     );
     let bytes = 100 << 20;
     let mut base = None;
@@ -313,9 +309,7 @@ pub fn nren_upgrade() -> String {
             .unwrap()
             .as_secs_f64();
         let windowed = sim
-            .single_flow_time(
-                &TransferSpec::new(a, b, bytes, SimTime::ZERO).with_window(64 * 1024),
-            )
+            .single_flow_time(&TransferSpec::new(a, b, bytes, SimTime::ZERO).with_window(64 * 1024))
             .unwrap()
             .as_secs_f64();
         let speedup = base.map_or(1.0, |b: f64| b / plain);
@@ -409,7 +403,13 @@ pub fn grand_challenges() -> String {
     use std::time::Instant;
     let mut t = Table::new(
         "GC-1 — Grand Challenge kernels on the host (sequential vs Rayon)",
-        &["Kernel (Grand Challenge)", "Size", "Seq (ms)", "Par (ms)", "Speedup"],
+        &[
+            "Kernel (Grand Challenge)",
+            "Size",
+            "Seq (ms)",
+            "Par (ms)",
+            "Speedup",
+        ],
     );
     let threads = rayon::current_num_threads();
 
@@ -521,7 +521,10 @@ pub fn grand_challenges() -> String {
         use hpcc_kernels::multigrid::{MgConfig, Multigrid};
         use std::f64::consts::PI;
         let rhs = |x: f64, y: f64| -2.0 * PI * PI * (PI * x).sin() * (PI * y).sin();
-        let cfg = MgConfig { tol: 1e-8, ..MgConfig::default() };
+        let cfg = MgConfig {
+            tol: 1e-8,
+            ..MgConfig::default()
+        };
         let tm = time(&mut || {
             let mut mg = Multigrid::new(255, cfg);
             std::hint::black_box(mg.solve(rhs).1);
@@ -633,7 +636,11 @@ pub fn ablations() -> String {
     use delta_mesh::Comm;
     let mut t = Table::new(
         "Ablation — router and collective design choices on the Delta model",
-        &["Configuration", "1 MB bcast, 64 nodes (ms)", "LINPACK n=4000, 64n (GF)"],
+        &[
+            "Configuration",
+            "1 MB bcast, 64 nodes (ms)",
+            "LINPACK n=4000, 64n (GF)",
+        ],
     );
     let bcast_ms = |cfg: delta_mesh::MachineConfig| {
         let m = Machine::new(cfg);
@@ -643,9 +650,7 @@ pub fn ablations() -> String {
         });
         r.elapsed.as_secs_f64() * 1e3
     };
-    let lu_gf = |cfg: delta_mesh::MachineConfig| {
-        lu2d::run(&Machine::new(cfg), 4_000, 32).gflops
-    };
+    let lu_gf = |cfg: delta_mesh::MachineConfig| lu2d::run(&Machine::new(cfg), 4_000, 32).gflops;
     t.row(&[
         "wormhole (production)".into(),
         fnum(bcast_ms(presets::delta(8, 8)), 2),

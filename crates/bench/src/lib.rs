@@ -8,3 +8,4 @@
 //!   (`hpcc_core::exhibits`).
 
 pub mod exhibits;
+pub mod perf;

@@ -1,0 +1,260 @@
+//! Host-kernel performance snapshot: measured GFLOP/s for the GEMM
+//! engine and the LU factorisation it drives, against the cache-blocked
+//! baseline. The `report bench-kernels` command prints the table and
+//! writes `BENCH_kernels.json` so perf regressions show up in diffs.
+
+use des::rng::Rng;
+use hpcc_kernels::{gemm, lu, mat::Mat, matmul};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured kernel configuration.
+pub struct PerfRow {
+    /// Kernel label, e.g. `gemm_par`.
+    pub kernel: &'static str,
+    /// Problem order n (square problems).
+    pub n: usize,
+    /// Threads the configuration ran with (1 = sequential path).
+    pub threads: usize,
+    /// Best-of-reps wall time, milliseconds.
+    pub ms: f64,
+    /// FLOPs credited / wall time.
+    pub gflops: f64,
+}
+
+/// The seed's LU trailing update (row-oriented axpy loops, no packing),
+/// kept here as the perf baseline the engine is measured against. Same
+/// pivoting and panel code as `lu::lu_factor`, so the timing difference
+/// is purely the BLAS3 update.
+fn lu_factor_rowupdate(a: &mut Mat, nb: usize) -> Result<Vec<usize>, lu::Singular> {
+    let n = a.rows();
+    let mut piv = vec![0usize; n];
+    let mut k = 0;
+    while k < n {
+        let kb = nb.min(n - k);
+        for j in k..k + kb {
+            let mut p = j;
+            let mut best = a[(j, j)].abs();
+            for i in j + 1..n {
+                let v = a[(i, j)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 || !best.is_finite() {
+                return Err(lu::Singular(j));
+            }
+            piv[j] = p;
+            a.swap_rows(j, p);
+            let inv = 1.0 / a[(j, j)];
+            for i in j + 1..n {
+                a[(i, j)] *= inv;
+            }
+            for i in j + 1..n {
+                let lij = a[(i, j)];
+                if lij != 0.0 {
+                    for c in j + 1..k + kb {
+                        a[(i, c)] -= lij * a[(j, c)];
+                    }
+                }
+            }
+        }
+        if k + kb < n {
+            for j in k + 1..k + kb {
+                for i in k..j {
+                    let lji = a[(j, i)];
+                    if lji != 0.0 {
+                        let ncols = a.cols();
+                        let (top, bot) = a.as_mut_slice().split_at_mut(j * ncols);
+                        let ri = &top[i * ncols..(i + 1) * ncols];
+                        let rj = &mut bot[..ncols];
+                        for c in k + kb..n {
+                            rj[c] -= lji * ri[c];
+                        }
+                    }
+                }
+            }
+            let ncols = a.cols();
+            let split = (k + kb) * ncols;
+            let (upper, lower) = a.as_mut_slice().split_at_mut(split);
+            for row in lower.chunks_mut(ncols) {
+                for l in k..k + kb {
+                    let lil = row[l];
+                    if lil != 0.0 {
+                        let urow = &upper[l * ncols..(l + 1) * ncols];
+                        for c in k + kb..ncols {
+                            row[c] -= lil * urow[c];
+                        }
+                    }
+                }
+            }
+        }
+        k += kb;
+    }
+    Ok(piv)
+}
+
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm-up: page in buffers, spin up the pool
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn row<F: FnMut()>(kernel: &'static str, n: usize, threads: usize, flops: f64, f: F) -> PerfRow {
+    let reps = if n >= 1024 { 2 } else { 3 };
+    let secs = time_best(reps, f);
+    PerfRow {
+        kernel,
+        n,
+        threads,
+        ms: secs * 1e3,
+        gflops: flops / secs / 1e9,
+    }
+}
+
+/// Run the snapshot: GEMM at the acceptance size (512) plus a larger
+/// point, LU sequential vs Rayon up to n=2048 (the LINPACK-style
+/// trailing update is where the engine earns its keep).
+pub fn snapshot() -> Vec<PerfRow> {
+    let nt = rayon::current_num_threads();
+    let mut rows = Vec::new();
+
+    for n in [256usize, 512, 1024] {
+        let mut rng = Rng::new(1);
+        let a = Mat::random(n, n, &mut rng);
+        let b = Mat::random(n, n, &mut rng);
+        let flops = matmul::matmul_flops(n, n, n);
+        if n <= 512 {
+            rows.push(row("matmul_blocked48", n, 1, flops, || {
+                std::hint::black_box(matmul::matmul_blocked(&a, &b, 48));
+            }));
+        }
+        rows.push(row("gemm", n, 1, flops, || {
+            std::hint::black_box(gemm::gemm(&a, &b));
+        }));
+        rows.push(row("gemm_par", n, nt, flops, || {
+            std::hint::black_box(gemm::gemm_par(&a, &b));
+        }));
+    }
+
+    for n in [512usize, 1024, 2048] {
+        let mut rng = Rng::new(2);
+        let a = Mat::random(n, n, &mut rng);
+        // Factor-only FLOPs (2n³/3), not the full LINPACK credit: the
+        // solve is not timed here.
+        let flops = 2.0 * (n as f64).powi(3) / 3.0;
+        rows.push(row("lu_legacy_nb64", n, 1, flops, || {
+            let mut f = a.clone();
+            std::hint::black_box(lu_factor_rowupdate(&mut f, 64).unwrap());
+        }));
+        rows.push(row("lu_factor_nb64", n, 1, flops, || {
+            let mut f = a.clone();
+            std::hint::black_box(lu::lu_factor(&mut f, 64).unwrap());
+        }));
+        rows.push(row("lu_factor_par_nb64", n, nt, flops, || {
+            let mut f = a.clone();
+            std::hint::black_box(lu::lu_factor_par(&mut f, 64).unwrap());
+        }));
+    }
+    rows
+}
+
+/// Human-readable table for the report output.
+pub fn table(rows: &[PerfRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Host kernel performance snapshot (best-of-reps)");
+    let _ = writeln!(s, "{:-<64}", "");
+    let _ = writeln!(
+        s,
+        "{:<20} {:>6} {:>8} {:>12} {:>10}",
+        "kernel", "n", "threads", "time (ms)", "GFLOP/s"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<20} {:>6} {:>8} {:>12.2} {:>10.2}",
+            r.kernel, r.n, r.threads, r.ms, r.gflops
+        );
+    }
+    let blocked = rows
+        .iter()
+        .find(|r| r.kernel == "matmul_blocked48" && r.n == 512);
+    let packed = rows.iter().find(|r| r.kernel == "gemm" && r.n == 512);
+    if let (Some(b), Some(g)) = (blocked, packed) {
+        let _ = writeln!(
+            s,
+            "\npacked/blocked speedup at n=512 (1 thread): {:.2}x",
+            g.gflops / b.gflops
+        );
+    }
+    s
+}
+
+/// The JSON snapshot (hand-rolled — the harness carries no serde).
+pub fn json(rows: &[PerfRow]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"kernels\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \
+             \"ms\": {:.3}, \"gflops\": {:.3}}}",
+            r.kernel, r.n, r.threads, r.ms, r.gflops
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_baseline_matches_engine_lu() {
+        let mut rng = Rng::new(3);
+        let a = Mat::random(90, 90, &mut rng);
+        let mut legacy = a.clone();
+        let mut engine = a.clone();
+        let pl = lu_factor_rowupdate(&mut legacy, 16).unwrap();
+        let pe = lu::lu_factor(&mut engine, 16).unwrap();
+        assert_eq!(pl, pe, "same pivots");
+        assert!(
+            legacy.dist(&engine) < 1e-10,
+            "dist {}",
+            legacy.dist(&engine)
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![
+            PerfRow {
+                kernel: "gemm",
+                n: 64,
+                threads: 1,
+                ms: 1.25,
+                gflops: 0.42,
+            },
+            PerfRow {
+                kernel: "gemm_par",
+                n: 64,
+                threads: 4,
+                ms: 0.5,
+                gflops: 1.0,
+            },
+        ];
+        let j = json(&rows);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"kernel\"").count(), 2);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let t = table(&rows);
+        assert!(t.contains("gemm_par") && t.contains("GFLOP/s"));
+    }
+}

@@ -34,20 +34,62 @@ pub enum Sector {
 /// industry and academia organizations" — the named ones from the figure
 /// plus the member laboratories it wires in).
 pub const CSC_MEMBERS: [Member; 14] = [
-    Member { name: "California Institute of Technology", sector: Sector::Academia },
-    Member { name: "Intel Corporation (Supercomputer Systems Division)", sector: Sector::Industry },
-    Member { name: "DARPA", sector: Sector::Government },
-    Member { name: "National Science Foundation", sector: Sector::Government },
-    Member { name: "NASA", sector: Sector::Government },
-    Member { name: "Jet Propulsion Laboratory", sector: Sector::Government },
-    Member { name: "Center for Research on Parallel Computation (Rice University, lead institution)", sector: Sector::Academia },
-    Member { name: "Argonne National Laboratory", sector: Sector::Government },
-    Member { name: "Los Alamos National Laboratory", sector: Sector::Government },
-    Member { name: "San Diego Supercomputer Center", sector: Sector::Academia },
-    Member { name: "Purdue University", sector: Sector::Academia },
-    Member { name: "UC Davis", sector: Sector::Academia },
-    Member { name: "Pacific Northwest Laboratory", sector: Sector::Government },
-    Member { name: "Department of Energy", sector: Sector::Government },
+    Member {
+        name: "California Institute of Technology",
+        sector: Sector::Academia,
+    },
+    Member {
+        name: "Intel Corporation (Supercomputer Systems Division)",
+        sector: Sector::Industry,
+    },
+    Member {
+        name: "DARPA",
+        sector: Sector::Government,
+    },
+    Member {
+        name: "National Science Foundation",
+        sector: Sector::Government,
+    },
+    Member {
+        name: "NASA",
+        sector: Sector::Government,
+    },
+    Member {
+        name: "Jet Propulsion Laboratory",
+        sector: Sector::Government,
+    },
+    Member {
+        name: "Center for Research on Parallel Computation (Rice University, lead institution)",
+        sector: Sector::Academia,
+    },
+    Member {
+        name: "Argonne National Laboratory",
+        sector: Sector::Government,
+    },
+    Member {
+        name: "Los Alamos National Laboratory",
+        sector: Sector::Government,
+    },
+    Member {
+        name: "San Diego Supercomputer Center",
+        sector: Sector::Academia,
+    },
+    Member {
+        name: "Purdue University",
+        sector: Sector::Academia,
+    },
+    Member {
+        name: "UC Davis",
+        sector: Sector::Academia,
+    },
+    Member {
+        name: "Pacific Northwest Laboratory",
+        sector: Sector::Government,
+    },
+    Member {
+        name: "Department of Energy",
+        sector: Sector::Government,
+    },
 ];
 
 /// CAS consortium industry participants (exhibit T4-6, verbatim list,
@@ -101,10 +143,22 @@ mod tests {
     #[test]
     fn csc_has_over_14_members_across_sectors() {
         assert!(CSC_MEMBERS.len() >= 14);
-        let gov = CSC_MEMBERS.iter().filter(|m| m.sector == Sector::Government).count();
-        let ind = CSC_MEMBERS.iter().filter(|m| m.sector == Sector::Industry).count();
-        let aca = CSC_MEMBERS.iter().filter(|m| m.sector == Sector::Academia).count();
-        assert!(gov > 0 && ind > 0 && aca > 0, "gov={gov} ind={ind} aca={aca}");
+        let gov = CSC_MEMBERS
+            .iter()
+            .filter(|m| m.sector == Sector::Government)
+            .count();
+        let ind = CSC_MEMBERS
+            .iter()
+            .filter(|m| m.sector == Sector::Industry)
+            .count();
+        let aca = CSC_MEMBERS
+            .iter()
+            .filter(|m| m.sector == Sector::Academia)
+            .count();
+        assert!(
+            gov > 0 && ind > 0 && aca > 0,
+            "gov={gov} ind={ind} aca={aca}"
+        );
     }
 
     #[test]

@@ -2,10 +2,8 @@
 //! of content it carries, and which module/binary of this repository
 //! regenerates it. `hpcc-bench`'s `report` binary walks this registry.
 
-use serde::{Deserialize, Serialize};
-
 /// What kind of content the exhibit carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExhibitKind {
     /// Numeric table.
     Table,
@@ -16,7 +14,7 @@ pub enum ExhibitKind {
 }
 
 /// One exhibit of the deck.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Exhibit {
     /// Our identifier (page-based, e.g. "T4-3a").
     pub id: &'static str,

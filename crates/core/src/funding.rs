@@ -3,13 +3,10 @@
 //! table reproduces the paper's figures digit for digit.
 
 use crate::program::{Agency, Component};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Money in tenths of a million dollars (e.g. `Money(2322)` = $232.2 M).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Money(pub i64);
 
 impl Money {
@@ -38,14 +35,14 @@ impl std::iter::Sum for Money {
 }
 
 /// Fiscal year selector for the two columns of the table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FiscalYear {
     Fy1992,
     Fy1993,
 }
 
 /// The agency × fiscal-year budget crosscut.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FundingTable {
     rows: Vec<(Agency, Money, Money)>,
 }
@@ -99,10 +96,7 @@ impl FundingTable {
 
     /// Column total — must equal the exhibit's printed totals exactly.
     pub fn total(&self, fy: FiscalYear) -> Money {
-        self.rows
-            .iter()
-            .map(|(a, _, _)| self.budget(*a, fy))
-            .sum()
+        self.rows.iter().map(|(a, _, _)| self.budget(*a, fy)).sum()
     }
 
     /// Year-over-year growth for one agency, percent.
@@ -183,7 +177,6 @@ fn comp_idx(c: Component) -> usize {
         Component::Brhr => 3,
     }
 }
-
 
 #[cfg(test)]
 mod tests {

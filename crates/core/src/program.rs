@@ -2,10 +2,8 @@
 //! program components, and the stated goals — exhibit T4-1 and the
 //! skeleton of T4-2.
 
-use serde::{Deserialize, Serialize};
-
 /// Agencies funded under the FY92–93 HPCC crosscut (exhibit T4-3's rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Agency {
     /// Defense Advanced Research Projects Agency.
     Darpa,
@@ -52,10 +50,16 @@ impl Agency {
             Agency::Nist => "DOC/NIST",
         }
     }
+
+    /// Inverse of [`Agency::label`] — lets report tooling parse exhibit
+    /// rows back into the enum.
+    pub fn from_label(label: &str) -> Option<Agency> {
+        Agency::ALL.into_iter().find(|a| a.label() == label)
+    }
 }
 
 /// The four components of the federal program (columns of T4-2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// High Performance Computing Systems.
     Hpcs,
@@ -141,7 +145,10 @@ mod tests {
         assert_eq!(Agency::Darpa.label(), "DARPA");
         assert_eq!(Agency::Nih.label(), "HHS/NIH");
         assert_eq!(Agency::Nist.label(), "DOC/NIST");
-        assert_eq!(Component::Hpcs.full_name(), "High Performance Computing Systems");
+        assert_eq!(
+            Component::Hpcs.full_name(),
+            "High Performance Computing Systems"
+        );
     }
 
     #[test]
@@ -159,9 +166,10 @@ mod tests {
     }
 
     #[test]
-    fn agencies_serialise() {
-        let s = serde_json::to_string(&Agency::Darpa).unwrap();
-        let back: Agency = serde_json::from_str(&s).unwrap();
-        assert_eq!(back, Agency::Darpa);
+    fn agency_labels_round_trip() {
+        for a in Agency::ALL {
+            assert_eq!(Agency::from_label(a.label()), Some(a));
+        }
+        assert_eq!(Agency::from_label("KGB"), None);
     }
 }

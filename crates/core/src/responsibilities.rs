@@ -14,9 +14,7 @@ pub fn activities(agency: Agency, component: Component) -> &'static [&'static st
     use Agency::*;
     use Component::*;
     match (agency, component) {
-        (Darpa, Hpcs) => &[
-            "Technology development and coordination for teraops systems",
-        ],
+        (Darpa, Hpcs) => &["Technology development and coordination for teraops systems"],
         (Darpa, Asta) => &[
             "Technology development for parallel algorithms and software tools",
             "Software coordination",
@@ -69,18 +67,11 @@ pub fn activities(agency: Agency, component: Component) -> &'static [&'static st
             "Computational research in earth and space sciences",
             "Software coordination",
         ],
-        (Nasa, Nren) => &[
-            "Access to aeronautics and spaceflight research centers",
-        ],
-        (Nasa, Brhr) => &[
-            "University programs",
-            "Training and career development",
-        ],
+        (Nasa, Nren) => &["Access to aeronautics and spaceflight research centers"],
+        (Nasa, Brhr) => &["University programs", "Training and career development"],
 
         (Nih, Hpcs) => &[],
-        (Nih, Asta) => &[
-            "Medical application testbeds for NIH/NLM medical computation research",
-        ],
+        (Nih, Asta) => &["Medical application testbeds for NIH/NLM medical computation research"],
         (Nih, Nren) => &["Access for academic medical centers"],
         (Nih, Brhr) => &["University programs", "Basic research"],
 
@@ -128,8 +119,7 @@ pub fn agencies_in(component: Component) -> Vec<Agency> {
 }
 
 /// Footnote on the exhibit.
-pub const FOOTNOTE: &str =
-    "Department of Education participation expected in FY 1993";
+pub const FOOTNOTE: &str = "Department of Education participation expected in FY 1993";
 
 #[cfg(test)]
 mod tests {
@@ -138,10 +128,7 @@ mod tests {
     #[test]
     fn every_agency_has_some_responsibility() {
         for a in Agency::ALL {
-            let total: usize = Component::ALL
-                .iter()
-                .map(|&c| activities(a, c).len())
-                .sum();
+            let total: usize = Component::ALL.iter().map(|&c| activities(a, c).len()).sum();
             assert!(total > 0, "{} has no activities", a.label());
         }
     }

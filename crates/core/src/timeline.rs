@@ -3,10 +3,8 @@
 //! NSFnet T3 upgrade) plus the published out-year goals the components
 //! were funded to reach.
 
-use serde::Serialize;
-
 /// A dated program milestone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Milestone {
     /// Calendar year.
     pub year: u32,
@@ -15,7 +13,7 @@ pub struct Milestone {
     pub thread: Thread,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Thread {
     Policy,
     Machines,
@@ -25,23 +23,75 @@ pub enum Thread {
 
 /// Milestones in chronological order.
 pub const MILESTONES: [Milestone; 12] = [
-    Milestone { year: 1988, what: "NSFnet T1 backbone complete (1.5 Mb/s)", thread: Thread::Networks },
-    Milestone { year: 1989, what: "FCCSET reports propose a federal HPC initiative", thread: Thread::Policy },
-    Milestone { year: 1990, what: "Intel iPSC/860 ('Touchstone Gamma') ships", thread: Thread::Machines },
-    Milestone { year: 1991, what: "Presidential commitment (Caltech commencement speech)", thread: Thread::Policy },
-    Milestone { year: 1991, what: "High Performance Computing Act (P.L. 102-194) signed", thread: Thread::Policy },
-    Milestone { year: 1991, what: "Intel Touchstone Delta installed at Caltech: 528 processors, 32 GFLOPS peak", thread: Thread::Machines },
-    Milestone { year: 1991, what: "CASA gigabit testbed links Caltech/JPL/LANL/SDSC over HIPPI/SONET", thread: Thread::Networks },
-    Milestone { year: 1992, what: "NSFnet T3 backbone operational (45 Mb/s)", thread: Thread::Networks },
-    Milestone { year: 1992, what: "Delta LINPACK: 13 GFLOPS at order 25,000", thread: Thread::Machines },
-    Milestone { year: 1992, what: "Concurrent Supercomputer Consortium and CAS consortium operating", thread: Thread::Applications },
-    Milestone { year: 1992, what: "FY93 HPCC crosscut budget: $802.9M across 8 agencies", thread: Thread::Policy },
-    Milestone { year: 1993, what: "Intel Paragon XP/S (Delta's production successor) deliveries begin", thread: Thread::Machines },
+    Milestone {
+        year: 1988,
+        what: "NSFnet T1 backbone complete (1.5 Mb/s)",
+        thread: Thread::Networks,
+    },
+    Milestone {
+        year: 1989,
+        what: "FCCSET reports propose a federal HPC initiative",
+        thread: Thread::Policy,
+    },
+    Milestone {
+        year: 1990,
+        what: "Intel iPSC/860 ('Touchstone Gamma') ships",
+        thread: Thread::Machines,
+    },
+    Milestone {
+        year: 1991,
+        what: "Presidential commitment (Caltech commencement speech)",
+        thread: Thread::Policy,
+    },
+    Milestone {
+        year: 1991,
+        what: "High Performance Computing Act (P.L. 102-194) signed",
+        thread: Thread::Policy,
+    },
+    Milestone {
+        year: 1991,
+        what: "Intel Touchstone Delta installed at Caltech: 528 processors, 32 GFLOPS peak",
+        thread: Thread::Machines,
+    },
+    Milestone {
+        year: 1991,
+        what: "CASA gigabit testbed links Caltech/JPL/LANL/SDSC over HIPPI/SONET",
+        thread: Thread::Networks,
+    },
+    Milestone {
+        year: 1992,
+        what: "NSFnet T3 backbone operational (45 Mb/s)",
+        thread: Thread::Networks,
+    },
+    Milestone {
+        year: 1992,
+        what: "Delta LINPACK: 13 GFLOPS at order 25,000",
+        thread: Thread::Machines,
+    },
+    Milestone {
+        year: 1992,
+        what: "Concurrent Supercomputer Consortium and CAS consortium operating",
+        thread: Thread::Applications,
+    },
+    Milestone {
+        year: 1992,
+        what: "FY93 HPCC crosscut budget: $802.9M across 8 agencies",
+        thread: Thread::Policy,
+    },
+    Milestone {
+        year: 1993,
+        what: "Intel Paragon XP/S (Delta's production successor) deliveries begin",
+        thread: Thread::Machines,
+    },
 ];
 
 /// Milestones of one thread, chronological.
 pub fn thread(t: Thread) -> Vec<Milestone> {
-    MILESTONES.iter().copied().filter(|m| m.thread == t).collect()
+    MILESTONES
+        .iter()
+        .copied()
+        .filter(|m| m.thread == t)
+        .collect()
 }
 
 /// The program's stated out-year performance goals.

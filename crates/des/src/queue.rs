@@ -57,6 +57,25 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// A calendar pre-sized for `cap` in-flight events, so the steady
+    /// state of a simulation never regrows the heap. Simulators that
+    /// know their population (e.g. one outstanding event per node) should
+    /// prefer this over [`EventQueue::new`].
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Events the calendar can hold before reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Current simulation time (the timestamp of the last popped event).
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -170,6 +189,18 @@ mod tests {
         while q.pop().is_some() {}
         assert_eq!(q.events_processed(), 10);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        let cap = q.capacity();
+        for i in 0..64u64 {
+            q.schedule(SimTime(i), i as u32);
+        }
+        assert_eq!(q.capacity(), cap, "no regrowth within capacity");
+        assert_eq!(q.pop(), Some((SimTime(0), 0)));
     }
 
     #[test]

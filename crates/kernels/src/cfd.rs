@@ -118,13 +118,7 @@ fn jacobi_sweep(src: &Grid, dst: &mut Grid, rhs: &Grid, parallel: bool) -> f64 {
 
 /// Jacobi iteration until the max update falls below `tol` (or
 /// `max_iters`). `parallel` selects the Rayon row-parallel sweep.
-pub fn jacobi(
-    u: &mut Grid,
-    rhs: &Grid,
-    tol: f64,
-    max_iters: usize,
-    parallel: bool,
-) -> Convergence {
+pub fn jacobi(u: &mut Grid, rhs: &Grid, tol: f64, max_iters: usize, parallel: bool) -> Convergence {
     assert_eq!(u.n, rhs.n);
     let mut other = u.clone();
     let mut delta = f64::INFINITY;
@@ -168,8 +162,7 @@ pub fn sor(
                 while j <= n {
                     let idx = i * s + j;
                     let sigma = 0.25
-                        * (u.data[idx - s] + u.data[idx + s] + u.data[idx - 1]
-                            + u.data[idx + 1]
+                        * (u.data[idx - s] + u.data[idx + s] + u.data[idx - 1] + u.data[idx + 1]
                             - h2 * rhs.data[idx]);
                     let nv = (1.0 - w) * u.data[idx] + w * sigma;
                     delta = delta.max((nv - u.data[idx]).abs());

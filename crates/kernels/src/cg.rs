@@ -122,7 +122,14 @@ pub struct CgResult {
 
 /// Conjugate gradient for SPD systems: solves A·x = b in place on `x`
 /// (initial guess in). `parallel` selects the Rayon SpMV.
-pub fn cg(a: &Csr, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize, parallel: bool) -> CgResult {
+pub fn cg(
+    a: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iters: usize,
+    parallel: bool,
+) -> CgResult {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);

@@ -22,24 +22,6 @@ impl Cpx {
     }
 
     #[inline]
-    pub fn add(self, o: Cpx) -> Cpx {
-        Cpx::new(self.re + o.re, self.im + o.im)
-    }
-
-    #[inline]
-    pub fn sub(self, o: Cpx) -> Cpx {
-        Cpx::new(self.re - o.re, self.im - o.im)
-    }
-
-    #[inline]
-    pub fn mul(self, o: Cpx) -> Cpx {
-        Cpx::new(
-            self.re * o.re - self.im * o.im,
-            self.re * o.im + self.im * o.re,
-        )
-    }
-
-    #[inline]
     pub fn conj(self) -> Cpx {
         Cpx::new(self.re, -self.im)
     }
@@ -56,6 +38,33 @@ impl Cpx {
     /// e^{iθ}.
     pub fn cis(theta: f64) -> Cpx {
         Cpx::new(theta.cos(), theta.sin())
+    }
+}
+
+impl std::ops::Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -93,10 +102,10 @@ fn fft_dir(x: &mut [Cpx], inverse: bool) {
             let mut w = Cpx::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let a = x[start + k];
-                let b = x[start + k + len / 2].mul(w);
-                x[start + k] = a.add(b);
-                x[start + k + len / 2] = a.sub(b);
-                w = w.mul(wlen);
+                let b = x[start + k + len / 2] * w;
+                x[start + k] = a + b;
+                x[start + k + len / 2] = a - b;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -236,10 +245,10 @@ mod tests {
         let mut fb = b.clone();
         fft(&mut fa);
         fft(&mut fb);
-        let mut fab: Vec<Cpx> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        let mut fab: Vec<Cpx> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         fft(&mut fab);
         for i in 0..n {
-            assert!(close(fab[i], fa[i].add(fb[i]), 1e-9));
+            assert!(close(fab[i], fa[i] + fb[i], 1e-9));
         }
     }
 

@@ -17,6 +17,7 @@
 pub mod cfd;
 pub mod cg;
 pub mod fft;
+pub mod gemm;
 pub mod linpack;
 pub mod lu;
 pub mod mat;

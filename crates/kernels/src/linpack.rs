@@ -50,11 +50,8 @@ pub fn run(n: usize, block: usize, mode: Mode, seed: u64) -> Result<LinpackResul
     let seconds = start.elapsed().as_secs_f64();
 
     let ax = a.matvec(&x);
-    let rinf = norm_inf(
-        &ax.iter().zip(&b).map(|(p, q)| p - q).collect::<Vec<_>>(),
-    );
-    let residual =
-        rinf / (a.inf_norm() * norm_inf(&x) * n as f64 * f64::EPSILON).max(1e-300);
+    let rinf = norm_inf(&ax.iter().zip(&b).map(|(p, q)| p - q).collect::<Vec<_>>());
+    let residual = rinf / (a.inf_norm() * norm_inf(&x) * n as f64 * f64::EPSILON).max(1e-300);
     Ok(LinpackResult {
         n,
         block,

@@ -3,14 +3,17 @@
 //!
 //! `lu_factor` / `lu_factor_par` factor in place (unit-lower L below the
 //! diagonal, U on and above) with full-row pivot swaps recorded in `piv`.
-//! The Rayon variant parallelises the trailing-matrix update, which is
-//! where all the O(n³) work lives; both variants produce bit-identical
-//! results because the per-row arithmetic order is unchanged.
+//! The trailing-matrix update — where all the O(n³) work lives — runs
+//! through the packed GEMM engine ([`crate::gemm::dgemm_update`]); the
+//! Rayon variant parallelises it over row panels. Both variants produce
+//! bit-identical results because the engine's accumulation order does
+//! not depend on thread count.
 
+use crate::gemm;
 use crate::mat::Mat;
-use rayon::prelude::*;
 
-/// Factorisation failure: exact zero pivot column at the given index.
+/// Factorisation failure: zero (or non-finite) pivot column at the
+/// given index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Singular(pub usize);
 
@@ -55,7 +58,9 @@ fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, 
                     p = i;
                 }
             }
-            if best == 0.0 {
+            // A NaN column maximum would sail through a `== 0.0` test and
+            // poison the whole factorisation; reject it like a zero pivot.
+            if best == 0.0 || !best.is_finite() {
                 return Err(Singular(j));
             }
             piv[j] = p;
@@ -91,29 +96,27 @@ fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, 
             }
 
             // --- A22 -= L21 · U12 (the dgemm that dominates). ---
+            // Split the backing storage at row k+kb: `upper` holds U12
+            // (rows k.., cols k+kb..), `lower` holds both L21 (cols
+            // k..k+kb) and the trailing block A22 (cols k+kb..). The
+            // engine packs L21 before touching A22, so the in-place
+            // aliasing is safe.
             let ncols = a.cols();
             let split = (k + kb) * ncols;
             let (upper, lower) = a.as_mut_slice().split_at_mut(split);
-            let update_row = |(ri, row): (usize, &mut [f64])| {
-                let _ = ri;
-                for l in k..k + kb {
-                    let lil = row[l];
-                    if lil != 0.0 {
-                        let urow = &upper[l * ncols..(l + 1) * ncols];
-                        for c in k + kb..ncols {
-                            row[c] -= lil * urow[c];
-                        }
-                    }
-                }
-            };
-            if parallel {
-                lower
-                    .par_chunks_mut(ncols)
-                    .enumerate()
-                    .for_each(update_row);
-            } else {
-                lower.chunks_mut(ncols).enumerate().for_each(update_row);
-            }
+            gemm::dgemm_update(
+                lower,
+                ncols,
+                k,
+                k + kb,
+                n - (k + kb),
+                ncols - (k + kb),
+                kb,
+                &upper[k * ncols..],
+                ncols,
+                k + kb,
+                parallel,
+            );
         }
         k += kb;
     }
@@ -125,10 +128,7 @@ fn row_pair(a: &mut Mat, i: usize, j: usize) -> (&[f64], &mut [f64]) {
     debug_assert!(i < j);
     let ncols = a.cols();
     let (top, bot) = a.as_mut_slice().split_at_mut(j * ncols);
-    (
-        &top[i * ncols..(i + 1) * ncols],
-        &mut bot[..ncols],
-    )
+    (&top[i * ncols..(i + 1) * ncols], &mut bot[..ncols])
 }
 
 /// Solve `A x = b` given the in-place factorisation and pivot vector.
@@ -137,8 +137,8 @@ pub fn lu_solve(lu: &Mat, piv: &[usize], b: &[f64]) -> Vec<f64> {
     assert_eq!(b.len(), n);
     let mut x = b.to_vec();
     // Apply the row interchanges in factorisation order.
-    for j in 0..n {
-        x.swap(j, piv[j]);
+    for (j, &p) in piv.iter().enumerate() {
+        x.swap(j, p);
     }
     // Forward substitution with unit lower L.
     for i in 0..n {
@@ -277,6 +277,19 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_pivot_rejected() {
+        // A NaN in the pivot column survives a `best == 0.0` check (any
+        // comparison with NaN is false) — it must be reported, not
+        // propagated through the factorisation.
+        let mut a = Mat::from_rows(&[&[f64::NAN, 1.0], &[2.0, 3.0]]);
+        assert_eq!(lu_factor(&mut a, 1), Err(Singular(0)));
+        let mut b = Mat::from_rows(&[&[1.0, 2.0], &[3.0, f64::NAN]]);
+        assert_eq!(lu_factor(&mut b, 2), Err(Singular(1)));
+        let mut c = Mat::from_rows(&[&[f64::INFINITY, 1.0], &[2.0, 3.0]]);
+        assert_eq!(lu_factor_par(&mut c, 1), Err(Singular(0)));
+    }
+
+    #[test]
     fn spd_system_high_accuracy() {
         let mut rng = Rng::new(91);
         let a = Mat::random_spd(60, &mut rng);
@@ -301,8 +314,8 @@ mod tests {
         let piv = lu_factor(&mut f, 4).unwrap();
         // Apply the same interchanges to a copy of A.
         let mut pa = a.clone();
-        for j in 0..12 {
-            pa.swap_rows(j, piv[j]);
+        for (j, &p) in piv.iter().enumerate() {
+            pa.swap_rows(j, p);
         }
         let rec = lu_reconstruct(&f);
         assert!(pa.dist(&rec) < 1e-11, "‖PA − LU‖ = {}", pa.dist(&rec));

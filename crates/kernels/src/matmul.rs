@@ -1,11 +1,12 @@
-//! Dense matrix multiply: naive, cache-blocked, and Rayon-parallel.
+//! Dense matrix multiply: naive, cache-blocked, and parallel.
 //!
 //! The BLAS3 kernel is the engine of everything else (LU trailing
-//! updates), and its blocked/parallel variants are the host-machine
-//! baselines for the ASTA "scalable parallel algorithms" benches.
+//! updates). `matmul_naive` and `matmul_blocked` are the reference and
+//! cache-blocked baselines; `matmul_par` routes through the packed
+//! register-blocked engine in [`crate::gemm`].
 
+use crate::gemm;
 use crate::mat::Mat;
-use rayon::prelude::*;
 
 /// Naive triple loop (i-k-j order, so the inner loop is stride-1).
 pub fn matmul_naive(a: &Mat, b: &Mat) -> Mat {
@@ -53,26 +54,11 @@ pub fn matmul_blocked(a: &Mat, b: &Mat, bs: usize) -> Mat {
     c
 }
 
-/// Rayon-parallel: rows of C are independent, so parallelise over row
-/// chunks (the Rayon idiom from the domain guide).
+/// Rayon-parallel multiply through the packed engine: MC-row panels of
+/// C are independent, so [`gemm::gemm_par`] parallelises over them while
+/// keeping the accumulation order fixed (bit-identical to sequential).
 pub fn matmul_par(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.cols(), b.rows());
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Mat::zeros(m, n);
-    c.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, crow)| {
-            for l in 0..k {
-                let aik = a[(i, l)];
-                let brow = b.row(l);
-                for j in 0..n {
-                    crow[j] += aik * brow[j];
-                }
-            }
-        });
-    let _ = m;
-    c
+    gemm::gemm_par(a, b)
 }
 
 /// FLOP count of an (m×k)·(k×n) multiply.

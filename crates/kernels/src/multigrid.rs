@@ -166,7 +166,9 @@ impl Multigrid {
                 while j <= n {
                     let idx = i * s + j;
                     level.u[idx] = 0.25
-                        * (level.u[idx - s] + level.u[idx + s] + level.u[idx - 1]
+                        * (level.u[idx - s]
+                            + level.u[idx + s]
+                            + level.u[idx - 1]
                             + level.u[idx + 1]
                             - h2 * level.f[idx]);
                     j += 2;
@@ -184,10 +186,10 @@ impl Multigrid {
         for i in 1..=n {
             for j in 1..=n {
                 let idx = i * s + j;
-                let lap = (level.u[idx - s] + level.u[idx + s] + level.u[idx - 1]
-                    + level.u[idx + 1]
-                    - 4.0 * level.u[idx])
-                    * inv_h2;
+                let lap =
+                    (level.u[idx - s] + level.u[idx + s] + level.u[idx - 1] + level.u[idx + 1]
+                        - 4.0 * level.u[idx])
+                        * inv_h2;
                 level.r[idx] = level.f[idx] - lap;
             }
         }
@@ -247,11 +249,12 @@ impl Multigrid {
                     (0, 0) => fetch(ci, cj),
                     (1, 0) => 0.5 * (fetch(ci, cj) + fetch(ci + 1, cj)),
                     (0, 1) => 0.5 * (fetch(ci, cj) + fetch(ci, cj + 1)),
-                    _ => 0.25
-                        * (fetch(ci, cj)
+                    _ => {
+                        0.25 * (fetch(ci, cj)
                             + fetch(ci + 1, cj)
                             + fetch(ci, cj + 1)
-                            + fetch(ci + 1, cj + 1)),
+                            + fetch(ci + 1, cj + 1))
+                    }
                 };
                 fine.u[i * fs + j] += v;
             }
@@ -308,8 +311,7 @@ mod tests {
         let mut counts = Vec::new();
         for n in [31usize, 63, 127] {
             let mut mg = Multigrid::new(n, MgConfig::default());
-            let (_, res) =
-                mg.solve(|x, y| -2.0 * PI * PI * (PI * x).sin() * (PI * y).sin());
+            let (_, res) = mg.solve(|x, y| -2.0 * PI * PI * (PI * x).sin() * (PI * y).sin());
             assert!(res.converged);
             counts.push(res.cycles);
         }

@@ -294,8 +294,20 @@ mod tests {
     #[test]
     fn two_body_symmetry() {
         let bodies = vec![
-            Body { x: -1.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1.0 },
-            Body { x: 1.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1.0 },
+            Body {
+                x: -1.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: 0.0,
+                mass: 1.0,
+            },
+            Body {
+                x: 1.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: 0.0,
+                mass: 1.0,
+            },
         ];
         let a = accel_direct(&bodies, 0.0);
         assert!(a[0].0 > 0.0 && a[1].0 < 0.0, "mutual attraction");
@@ -381,9 +393,27 @@ mod tests {
     #[test]
     fn coincident_bodies_do_not_blow_up() {
         let bodies = vec![
-            Body { x: 0.5, y: 0.5, vx: 0.0, vy: 0.0, mass: 1.0 },
-            Body { x: 0.5, y: 0.5, vx: 0.0, vy: 0.0, mass: 1.0 },
-            Body { x: -0.5, y: 0.0, vx: 0.0, vy: 0.0, mass: 1.0 },
+            Body {
+                x: 0.5,
+                y: 0.5,
+                vx: 0.0,
+                vy: 0.0,
+                mass: 1.0,
+            },
+            Body {
+                x: 0.5,
+                y: 0.5,
+                vx: 0.0,
+                vy: 0.0,
+                mass: 1.0,
+            },
+            Body {
+                x: -0.5,
+                y: 0.0,
+                vx: 0.0,
+                vy: 0.0,
+                mass: 1.0,
+            },
         ];
         let a = accel_barnes_hut(&bodies, 0.5, 0.01);
         assert!(a.iter().all(|(x, y)| x.is_finite() && y.is_finite()));

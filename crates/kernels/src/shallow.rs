@@ -52,9 +52,8 @@ impl Shallow {
 
         let idx = |i: usize, j: usize| i * m + j;
         // Stream function at cell corners (wrap-indexed).
-        let psi = |i: usize, j: usize| {
-            a * ((i as f64 + 0.5) * di).sin() * ((j as f64 + 0.5) * dj).sin()
-        };
+        let psi =
+            |i: usize, j: usize| a * ((i as f64 + 0.5) * di).sin() * ((j as f64 + 0.5) * dj).sin();
         let mut u = vec![0.0; m * m];
         let mut v = vec![0.0; m * m];
         let mut p = vec![0.0; m * m];
@@ -170,10 +169,7 @@ impl Shallow {
                     out[j] = uold[i * m + j]
                         + tdts8
                             * (z[i * m + jp] + z[i * m + j])
-                            * (cv[i * m + jp]
-                                + cv[im * m + jp]
-                                + cv[im * m + j]
-                                + cv[i * m + j])
+                            * (cv[i * m + jp] + cv[im * m + jp] + cv[im * m + j] + cv[i * m + j])
                         - tdtsdx * (h[i * m + j] - h[im * m + j]);
                 }
             };
@@ -184,10 +180,7 @@ impl Shallow {
                     out[j] = vold[i * m + j]
                         - tdts8
                             * (z[ip * m + j] + z[i * m + j])
-                            * (cu[ip * m + j]
-                                + cu[i * m + j]
-                                + cu[i * m + jm]
-                                + cu[ip * m + jm])
+                            * (cu[ip * m + j] + cu[i * m + j] + cu[i * m + jm] + cu[ip * m + jm])
                         - tdtsdy * (h[i * m + j] - h[i * m + jm]);
                 }
             };
@@ -296,12 +289,11 @@ mod tests {
         assert!(sw.p.iter().all(|v| v.is_finite()));
         assert!(sw.u.iter().all(|v| v.is_finite()));
         // Height stays near the 50 kPa background.
-        let (lo, hi) = sw
-            .p
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
-                (l.min(v), h.max(v))
-            });
+        let (lo, hi) =
+            sw.p.iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                    (l.min(v), h.max(v))
+                });
         assert!(lo > 30_000.0 && hi < 70_000.0, "p in [{lo}, {hi}]");
     }
 
@@ -335,12 +327,11 @@ mod tests {
         let mut sw = Shallow::new(16);
         let p0 = sw.p.clone();
         sw.run(10, false);
-        let moved = sw
-            .p
-            .iter()
-            .zip(&p0)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let moved =
+            sw.p.iter()
+                .zip(&p0)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
         assert!(moved > 1.0, "flow is static: max |Δp| = {moved}");
     }
 

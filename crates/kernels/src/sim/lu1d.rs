@@ -39,9 +39,7 @@ fn owner(j: usize, nb: usize, p: usize) -> usize {
 /// its own columns without communication.
 pub fn run(machine: &Machine, n: usize, nb: usize, seed: u64) -> Lu1dResult {
     let p = machine.config().nodes();
-    let (outs, report) = machine.run(move |node| async move {
-        lu1d_node(node, n, nb, seed).await
-    });
+    let (outs, report) = machine.run(move |node| async move { lu1d_node(node, n, nb, seed).await });
     let residual = outs[0].expect("node 0 computes the residual");
     let seconds = report.elapsed.as_secs_f64();
     Lu1dResult {
@@ -89,17 +87,17 @@ async fn lu1d_node(node: Node, n: usize, nb: usize, seed: u64) -> Option<f64> {
             // Pivot search below the diagonal.
             let mut l = k;
             let mut best = col[k].abs();
-            for i in k + 1..n {
-                if col[i].abs() > best {
-                    best = col[i].abs();
+            for (i, v) in col.iter().enumerate().take(n).skip(k + 1) {
+                if v.abs() > best {
+                    best = v.abs();
                     l = i;
                 }
             }
             assert!(best > 0.0, "singular at column {k}");
             col.swap(k, l);
             let inv = 1.0 / col[k];
-            for i in k + 1..n {
-                col[i] *= inv;
+            for v in &mut col[k + 1..n] {
+                *v *= inv;
             }
             // Message: [pivot_row, m(k+1..n)...]
             let mut msg = Vec::with_capacity(n - k);
@@ -187,15 +185,15 @@ async fn lu1d_node(node: Node, n: usize, nb: usize, seed: u64) -> Option<f64> {
         for &xi in &x {
             xnorm = xnorm.max(xi.abs());
         }
-        for i in 0..n {
+        for (i, &bi) in b.iter().enumerate() {
             let mut ax = 0.0;
             let mut arow = 0.0;
-            for j in 0..n {
+            for (j, &xj) in x.iter().enumerate() {
                 let a = entry(seed, i, j);
-                ax += a * x[j];
+                ax += a * xj;
                 arow += a.abs();
             }
-            rmax = rmax.max((ax - b[i]).abs());
+            rmax = rmax.max((ax - bi).abs());
             anorm = anorm.max(arow);
         }
         Some(rmax / (anorm * xnorm * n as f64 * f64::EPSILON).max(1e-300))

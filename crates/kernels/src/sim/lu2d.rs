@@ -40,7 +40,7 @@ pub fn choose_grid(p: usize) -> (usize, usize) {
     let mut best = (1, p);
     let mut r = 1;
     while r * r <= p {
-        if p % r == 0 {
+        if p.is_multiple_of(r) {
             best = (r, p / r);
         }
         r += 1;
@@ -117,7 +117,7 @@ pub fn run(machine: &Machine, n: usize, nb: usize) -> Lu2dResult {
                 // Local trailing extents.
                 let m_loc = local_count(trail, n, nb, pr, my_prow); // rows
                 let c_loc = local_count(trail, n, nb, pc, my_pcol); // cols
-                // Panel rows at/below the diagonal block.
+                                                                    // Panel rows at/below the diagonal block.
                 let m_panel = local_count(diag, n, nb, pr, my_prow);
 
                 // --- Panel factorisation in the owning process column. ---

@@ -57,8 +57,7 @@ impl Dist {
             let mut out = vec![0.0; (lr + 2) * m];
             for li in 0..lr {
                 let gi = r0 + li;
-                out[(li + 1) * m..(li + 2) * m]
-                    .copy_from_slice(&field[gi * m..(gi + 1) * m]);
+                out[(li + 1) * m..(li + 2) * m].copy_from_slice(&field[gi * m..(gi + 1) * m]);
             }
             out
         };
@@ -95,7 +94,8 @@ async fn exchange(node: &Node, fields: &mut [&mut Vec<f64>], m: usize, lr: usize
         // My first interior row goes to the north neighbour's bottom ghost.
         node.send_f64s(north, t, &field[m..2 * m]).await;
         // My last interior row goes to the south neighbour's top ghost.
-        node.send_f64s(south, t + 1, &field[lr * m..(lr + 1) * m]).await;
+        node.send_f64s(south, t + 1, &field[lr * m..(lr + 1) * m])
+            .await;
     }
     for (fi, field) in fields.iter_mut().enumerate() {
         let t = tbase + 2 * fi as u64;
@@ -131,14 +131,11 @@ async fn shallow_node(node: Node, m: usize, steps: usize) -> Option<Vec<f64>> {
                 let jp = (j + 1) % m;
                 let at = |f: &Vec<f64>, i: usize, j: usize| f[i * m + j];
                 let (im, i, ip) = (li - 1, li, li + 1);
-                d.cu[i * m + j] =
-                    0.5 * (at(&d.p, i, j) + at(&d.p, im, j)) * at(&d.u, i, j);
-                d.cv[i * m + j] =
-                    0.5 * (at(&d.p, i, j) + at(&d.p, i, jm)) * at(&d.v, i, j);
+                d.cu[i * m + j] = 0.5 * (at(&d.p, i, j) + at(&d.p, im, j)) * at(&d.u, i, j);
+                d.cv[i * m + j] = 0.5 * (at(&d.p, i, j) + at(&d.p, i, jm)) * at(&d.v, i, j);
                 d.z[i * m + j] = (fsdx * (at(&d.v, i, j) - at(&d.v, im, j))
                     - fsdy * (at(&d.u, i, j) - at(&d.u, i, jm)))
-                    / (at(&d.p, im, jm) + at(&d.p, i, jm) + at(&d.p, i, j)
-                        + at(&d.p, im, j));
+                    / (at(&d.p, im, jm) + at(&d.p, i, jm) + at(&d.p, i, j) + at(&d.p, im, j));
                 d.h[i * m + j] = at(&d.p, i, j)
                     + 0.25
                         * (at(&d.u, ip, j) * at(&d.u, ip, j)

@@ -174,8 +174,12 @@ async fn stencil_node(
     } else {
         let mut field = vec![0.0f64; g * g];
         let mut place = |blk: &[f64]| {
-            let (br0, blr, bc0, blc) =
-                (blk[0] as usize, blk[1] as usize, blk[2] as usize, blk[3] as usize);
+            let (br0, blr, bc0, blc) = (
+                blk[0] as usize,
+                blk[1] as usize,
+                blk[2] as usize,
+                blk[3] as usize,
+            );
             for i in 0..blr {
                 for j in 0..blc {
                     field[(br0 + i) * g + bc0 + j] = blk[4 + i * blc + j];
@@ -218,8 +222,7 @@ fn grid_for(machine: &Machine) -> (usize, usize) {
 /// Real-data run, verified against the sequential Jacobi solver.
 pub fn run_verified(machine: &Machine, g: usize, iters: usize) -> StencilSimResult {
     let (pr, pc) = grid_for(machine);
-    let (outs, report) =
-        machine.run(move |node| stencil_node(node, g, iters, pr, pc, true));
+    let (outs, report) = machine.run(move |node| stencil_node(node, g, iters, pr, pc, true));
     let field = outs[0].clone().expect("node 0 gathers the field");
 
     // Sequential reference: same boundary, same iteration count.

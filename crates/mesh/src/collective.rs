@@ -146,9 +146,7 @@ impl Comm {
     /// Binomial-tree broadcast. The root passes `Some(data)`; everyone
     /// receives the payload.
     pub async fn bcast(&self, root: usize, data: Option<Rc<[f64]>>) -> Rc<[f64]> {
-        let out = self
-            .bcast_payload(root, data.map(Payload::F64))
-            .await;
+        let out = self.bcast_payload(root, data.map(Payload::F64)).await;
         out.into_f64s()
     }
 
@@ -238,10 +236,7 @@ impl Comm {
             while mask < p {
                 if relative & mask != 0 {
                     let parent = (relative - mask + root) % p;
-                    let msg = self
-                        .node
-                        .recv(Some(self.members[parent]), Some(tag))
-                        .await;
+                    let msg = self.node.recv(Some(self.members[parent]), Some(tag)).await;
                     payload = Some(msg.payload);
                     break;
                 }
@@ -389,7 +384,7 @@ impl Comm {
 
         // Unfold: even partners push the result back to the odd ranks.
         if self.me < 2 * rem {
-            if self.me % 2 == 0 {
+            if self.me.is_multiple_of(2) {
                 self.node
                     .send(self.members[self.me + 1], tag, Payload::from_f64s(&data))
                     .await;
@@ -437,7 +432,11 @@ impl Comm {
             while mask < pof2 {
                 let partner = to_real(nr ^ mask);
                 self.node
-                    .send(self.members[partner], tag + mask as u64, Payload::Virtual(bytes))
+                    .send(
+                        self.members[partner],
+                        tag + mask as u64,
+                        Payload::Virtual(bytes),
+                    )
                     .await;
                 self.node
                     .recv(Some(self.members[partner]), Some(tag + mask as u64))
@@ -446,7 +445,7 @@ impl Comm {
             }
         }
         if self.me < 2 * rem {
-            if self.me % 2 == 0 {
+            if self.me.is_multiple_of(2) {
                 self.node
                     .send(self.members[self.me + 1], tag, Payload::Virtual(bytes))
                     .await;
@@ -518,7 +517,11 @@ impl Comm {
         let tag = self.next_coll_tag();
         if self.me != root {
             self.node
-                .send(self.members[root], tag + self.me as u64, Payload::from_f64s(data))
+                .send(
+                    self.members[root],
+                    tag + self.me as u64,
+                    Payload::from_f64s(data),
+                )
                 .await;
             self.seq.set(self.seq.get() + p as u64);
             return None;
@@ -660,10 +663,7 @@ mod tests {
         f: impl Fn(Comm) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>> + 'static,
     ) -> Vec<T> {
         let m = Machine::new(presets::delta(3, 3));
-        let (out, _) = m.run(move |node| {
-            let fut = f(Comm::world(&node));
-            async move { fut.await }
-        });
+        let (out, _) = m.run(move |node| f(Comm::world(&node)));
         out
     }
 
@@ -795,9 +795,8 @@ mod tests {
     fn scatter_distributes_chunks() {
         let out = on9(|comm| {
             Box::pin(async move {
-                let chunks: Option<Vec<Vec<f64>>> = (comm.me() == 1).then(|| {
-                    (0..comm.size()).map(|i| vec![i as f64; 2]).collect()
-                });
+                let chunks: Option<Vec<Vec<f64>>> =
+                    (comm.me() == 1).then(|| (0..comm.size()).map(|i| vec![i as f64; 2]).collect());
                 comm.scatter(1, chunks.as_deref()).await
             })
         });
@@ -812,8 +811,7 @@ mod tests {
             Box::pin(async move {
                 let me = comm.me() as f64;
                 // Chunk j from member i holds [i, j].
-                let chunks: Vec<Vec<f64>> =
-                    (0..comm.size()).map(|j| vec![me, j as f64]).collect();
+                let chunks: Vec<Vec<f64>> = (0..comm.size()).map(|j| vec![me, j as f64]).collect();
                 comm.alltoall(chunks).await
             })
         });
@@ -837,7 +835,10 @@ mod tests {
         });
         let last_entry = out.iter().map(|(e, _)| *e).max().unwrap();
         for (_, exit) in &out {
-            assert!(*exit >= last_entry, "exit {exit} before last entry {last_entry}");
+            assert!(
+                *exit >= last_entry,
+                "exit {exit} before last entry {last_entry}"
+            );
         }
     }
 
@@ -917,10 +918,7 @@ mod tests {
                 let comm = Comm::world(&node);
                 comm.allreduce_sum(&[1.0]).await[0]
             });
-            assert!(
-                out.iter().all(|&v| v == p as f64),
-                "p={p}: {out:?}"
-            );
+            assert!(out.iter().all(|&v| v == p as f64), "p={p}: {out:?}");
         }
     }
 }

@@ -185,9 +185,7 @@ impl NetModel {
     pub fn transfer_time(&self, bytes: u64, hops: usize) -> Dur {
         let serial = Dur::from_secs_f64(bytes as f64 / self.bandwidth);
         match self.switching {
-            Switching::Wormhole => {
-                self.wire_latency + self.per_hop * hops as u64 + serial
-            }
+            Switching::Wormhole => self.wire_latency + self.per_hop * hops as u64 + serial,
             Switching::StoreAndForward => {
                 // The whole message is retransmitted at every hop.
                 self.wire_latency + (self.per_hop + serial) * hops.max(1) as u64

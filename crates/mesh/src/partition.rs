@@ -226,7 +226,12 @@ mod tests {
             for j in 0..4 {
                 if (i + j) % 2 == 0 {
                     // direct placement via fits_at path
-                    let sm = SubMesh { row: i, col: j, rows: 1, cols: 1 };
+                    let sm = SubMesh {
+                        row: i,
+                        col: j,
+                        rows: 1,
+                        cols: 1,
+                    };
                     assert!(m.fits_at(i, j, 1, 1));
                     m.mark(&sm, true);
                     m.allocated.push(sm);
@@ -235,14 +240,22 @@ mod tests {
         }
         assert_eq!(m.free_nodes(), 8);
         assert!(m.is_fragmented_refusal(2, 2, true));
-        assert!(!m.is_fragmented_refusal(4, 4, true), "not enough nodes anyway");
+        assert!(
+            !m.is_fragmented_refusal(4, 4, true),
+            "not enough nodes anyway"
+        );
     }
 
     #[test]
     fn node_ids_match_topology_layout() {
-        let sm = SubMesh { row: 1, col: 2, rows: 2, cols: 2 };
+        let sm = SubMesh {
+            row: 1,
+            col: 2,
+            rows: 2,
+            cols: 2,
+        };
         let ids: Vec<usize> = sm.node_ids(33).collect();
-        assert_eq!(ids, vec![1 * 33 + 2, 1 * 33 + 3, 2 * 33 + 2, 2 * 33 + 3]);
+        assert_eq!(ids, vec![33 + 2, 33 + 3, 2 * 33 + 2, 2 * 33 + 3]);
     }
 
     #[test]

@@ -135,8 +135,7 @@ pub fn run(rows: usize, cols: usize, mut jobs: Vec<Job>, policy: Policy) -> Sche
                 queue.push(i);
             }
             Ev::Finish(i, sm) => {
-                busy_node_time +=
-                    jobs[i].nodes() as f64 * jobs[i].runtime.as_secs_f64();
+                busy_node_time += jobs[i].nodes() as f64 * jobs[i].runtime.as_secs_f64();
                 space.free(sm);
             }
         }
@@ -268,8 +267,7 @@ mod tests {
         let fcfs = run(4, 4, jobs.clone(), Policy::Fcfs);
         let bf = run(4, 4, jobs, Policy::Backfill);
         assert_eq!(
-            bf.records[2].started,
-            bf.records[1].started,
+            bf.records[2].started, bf.records[1].started,
             "backfilled next to job 1"
         );
         assert!(bf.records[2].started <= fcfs.records[2].started);

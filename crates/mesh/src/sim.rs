@@ -110,7 +110,9 @@ pub struct Counters {
 
 struct SimCore {
     q: EventQueue<Event>,
-    cfg: MachineConfig,
+    /// Shared with the owning [`Machine`] and every [`Node`] handle —
+    /// the config is immutable for the whole run, so nobody clones it.
+    cfg: Rc<MachineConfig>,
     link_busy_until: Vec<SimTime>,
     mailbox: Vec<VecDeque<Msg>>,
     pending: Vec<VecDeque<PendingRecv>>,
@@ -120,11 +122,13 @@ struct SimCore {
 }
 
 impl SimCore {
-    fn new(cfg: MachineConfig) -> SimCore {
+    fn new(cfg: Rc<MachineConfig>) -> SimCore {
         let n = cfg.nodes();
         let links = cfg.topology.links();
         SimCore {
-            q: EventQueue::new(),
+            // Steady state holds at most a wake or delivery per node;
+            // pre-size so the calendar never regrows mid-run.
+            q: EventQueue::with_capacity(2 * n),
             cfg,
             link_busy_until: vec![SimTime::ZERO; links],
             mailbox: (0..n).map(|_| VecDeque::new()).collect(),
@@ -258,9 +262,10 @@ impl Node {
         self.core.borrow().q.now()
     }
 
-    /// The machine this program is running on.
-    pub fn machine(&self) -> MachineConfig {
-        self.core.borrow().cfg.clone()
+    /// The machine this program is running on. A refcount bump, not a
+    /// deep copy — node programs may call this per query.
+    pub fn machine(&self) -> Rc<MachineConfig> {
+        Rc::clone(&self.core.borrow().cfg)
     }
 
     /// Blocking tagged send (NX `csend` semantics: returns once the local
@@ -293,10 +298,7 @@ impl Node {
         let waited = {
             let mut core = self.core.borrow_mut();
             let mbox = &mut core.mailbox[self.rank];
-            if let Some(pos) = mbox
-                .iter()
-                .position(|m| matches(src, tag, m.src, m.tag))
-            {
+            if let Some(pos) = mbox.iter().position(|m| matches(src, tag, m.src, m.tag)) {
                 Ok(mbox.remove(pos).unwrap())
             } else {
                 let done: Completion<Msg> = Completion::new();
@@ -305,8 +307,7 @@ impl Node {
                     tag,
                     done: done.clone(),
                 });
-                core.blocked[self.rank] =
-                    Some(format!("recv(src={src:?}, tag={tag:?})"));
+                core.blocked[self.rank] = Some(format!("recv(src={src:?}, tag={tag:?})"));
                 Err(done)
             }
         };
@@ -321,9 +322,7 @@ impl Node {
             let mut core = self.core.borrow_mut();
             let mut ov = core.cfg.net.recv_overhead;
             if buffered {
-                ov += Dur::from_secs_f64(
-                    msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw,
-                );
+                ov += Dur::from_secs_f64(msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw);
             }
             core.timer(ov)
         };
@@ -413,9 +412,7 @@ impl RecvRequest {
             let mut core = self.node.core.borrow_mut();
             let mut ov = core.cfg.net.recv_overhead;
             if self.buffered {
-                ov += Dur::from_secs_f64(
-                    msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw,
-                );
+                ov += Dur::from_secs_f64(msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw);
             }
             core.timer(ov)
         };
@@ -455,12 +452,12 @@ impl RunReport {
 
 /// A configured machine ready to run node programs.
 pub struct Machine {
-    cfg: MachineConfig,
+    cfg: Rc<MachineConfig>,
 }
 
 impl Machine {
     pub fn new(cfg: MachineConfig) -> Machine {
-        Machine { cfg }
+        Machine { cfg: Rc::new(cfg) }
     }
 
     pub fn config(&self) -> &MachineConfig {
@@ -478,7 +475,7 @@ impl Machine {
         Fut: Future<Output = T> + 'static,
     {
         let n = self.cfg.nodes();
-        let core = Rc::new(RefCell::new(SimCore::new(self.cfg.clone())));
+        let core = Rc::new(RefCell::new(SimCore::new(Rc::clone(&self.cfg))));
         let mut tasks = Tasks::new();
         let results: Rc<RefCell<Vec<Option<T>>>> =
             Rc::new(RefCell::new((0..n).map(|_| None).collect()));
@@ -537,8 +534,7 @@ impl Machine {
             flops: core.counters.flops,
             events: core.q.events_processed(),
             compute_fraction: core.counters.compute_time.as_secs_f64() / (n as f64 * denom),
-            link_utilization: core.counters.link_busy.as_secs_f64()
-                / (nlinks as f64 * denom),
+            link_utilization: core.counters.link_busy.as_secs_f64() / (nlinks as f64 * denom),
             unexpected_messages: core.counters.unexpected,
         };
         let results = Rc::try_unwrap(results)
@@ -578,9 +574,8 @@ mod tests {
             }
         });
         let cfg = m.config();
-        let one_way = cfg.net.send_overhead
-            + cfg.net.transfer_time(bytes, 1)
-            + cfg.net.recv_overhead;
+        let one_way =
+            cfg.net.send_overhead + cfg.net.transfer_time(bytes, 1) + cfg.net.recv_overhead;
         let expect = one_way * 2;
         let got = report.elapsed;
         let err = (got.as_secs_f64() - expect.as_secs_f64()).abs() / expect.as_secs_f64();
@@ -902,6 +897,20 @@ mod tests {
         let wh = one_hop(presets::delta(1, 2));
         let sf = one_hop(presets::delta_store_and_forward(1, 2));
         assert_eq!(wh, sf, "single hop: no pipelining advantage");
+    }
+
+    #[test]
+    fn machine_query_shares_config() {
+        let m = tiny();
+        let (out, _) = m.run(|node| async move {
+            // Many queries from one program: every handle must point at
+            // the same allocation (no per-query deep clone).
+            let a = node.machine();
+            let b = node.machine();
+            assert!(Rc::ptr_eq(&a, &b));
+            a.nodes()
+        });
+        assert_eq!(out, vec![4, 4, 4, 4]);
     }
 
     #[test]

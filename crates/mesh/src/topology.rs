@@ -197,11 +197,7 @@ mod tests {
             for from in (0..n).step_by(3) {
                 for to in (0..n).step_by(5) {
                     topo.route(from, to, &mut route);
-                    assert_eq!(
-                        route.len(),
-                        topo.hops(from, to),
-                        "{topo:?} {from}->{to}"
-                    );
+                    assert_eq!(route.len(), topo.hops(from, to), "{topo:?} {from}->{to}");
                 }
             }
         }

@@ -80,8 +80,8 @@ pub fn maxmin_rates(net: &Net, flows: &[(&[usize], f64)]) -> Vec<f64> {
     let mut rate = vec![0.0f64; n];
     let mut frozen = vec![false; n];
     let mut residual = vec![0.0f64; net.dir_links()];
-    for d in 0..net.dir_links() {
-        residual[d] = net.capacity(d);
+    for (d, r) in residual.iter_mut().enumerate() {
+        *r = net.capacity(d);
     }
     // Flows with no links (degenerate) are frozen at their cap.
     for (i, (dirs, cap)) in flows.iter().enumerate() {
@@ -132,9 +132,9 @@ pub fn maxmin_rates(net: &Net, flows: &[(&[usize], f64)]) -> Vec<f64> {
                 continue;
             }
             let capped = rate[i] >= cap - 1e-9 * cap.max(1.0);
-            let saturated = dirs.iter().any(|&d| {
-                residual[d] <= 1e-9 * net.capacity(d).max(1.0)
-            });
+            let saturated = dirs
+                .iter()
+                .any(|&d| residual[d] <= 1e-9 * net.capacity(d).max(1.0));
             if capped || saturated {
                 frozen[i] = true;
                 unfrozen -= 1;
@@ -262,16 +262,13 @@ impl<'a> FlowSim<'a> {
                     let id = order[next];
                     next += 1;
                     let spec = &specs[id];
-                    let route = self
-                        .net
-                        .route(spec.src, spec.dst)
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "no route {} -> {}",
-                                self.net.name(spec.src),
-                                self.net.name(spec.dst)
-                            )
-                        });
+                    let route = self.net.route(spec.src, spec.dst).unwrap_or_else(|| {
+                        panic!(
+                            "no route {} -> {}",
+                            self.net.name(spec.src),
+                            self.net.name(spec.dst)
+                        )
+                    });
                     assert!(spec.src != spec.dst, "transfer to self");
                     let cap = match spec.window {
                         Some(w) => {
@@ -327,8 +324,10 @@ impl<'a> FlowSim<'a> {
             }
         }
         specs.clear();
-        let records: Vec<FlowRecord> =
-            records.into_iter().map(|r| r.expect("flow finished")).collect();
+        let records: Vec<FlowRecord> = records
+            .into_iter()
+            .map(|r| r.expect("flow finished"))
+            .collect();
         let makespan = records
             .iter()
             .map(|r| r.finished)
@@ -372,7 +371,10 @@ mod tests {
         let expect = bytes as f64 / LinkClass::T1.bytes_per_sec();
         let got = recs[0].duration().as_secs_f64();
         // duration includes path latency (22 ms both ways of measurement)
-        assert!((got - expect).abs() / expect < 0.02, "got {got} want ~{expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.02,
+            "got {got} want ~{expect}"
+        );
     }
 
     #[test]
@@ -383,8 +385,7 @@ mod tests {
         let analytic = sim.single_flow_time(&spec).unwrap();
         let recs = sim.run(vec![spec]);
         let simd = recs[0].finished - recs[0].started;
-        let err = (analytic.as_secs_f64() - simd.as_secs_f64()).abs()
-            / analytic.as_secs_f64();
+        let err = (analytic.as_secs_f64() - simd.as_secs_f64()).abs() / analytic.as_secs_f64();
         assert!(err < 0.01, "analytic {analytic} vs sim {simd}");
     }
 
@@ -425,7 +426,10 @@ mod tests {
         let cap = LinkClass::T1.bytes_per_sec();
         let expect = (2.0 * small as f64 / cap) + (big - small) as f64 / cap;
         let got = recs[1].duration().as_secs_f64();
-        assert!((got - expect).abs() / expect < 0.05, "got {got} want {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "got {got} want {expect}"
+        );
     }
 
     #[test]
@@ -482,7 +486,10 @@ mod tests {
         // Flow A capped well below fair share; flow B takes the rest.
         let rates = maxmin_rates(
             &net,
-            &[(ra.dirs.as_slice(), cap_t1 * 0.1), (rb.dirs.as_slice(), f64::INFINITY)],
+            &[
+                (ra.dirs.as_slice(), cap_t1 * 0.1),
+                (rb.dirs.as_slice(), f64::INFINITY),
+            ],
         );
         assert!((rates[0] - cap_t1 * 0.1).abs() < 1.0);
         assert!((rates[1] - cap_t1 * 0.9).abs() / cap_t1 < 0.01);

@@ -227,10 +227,7 @@ mod tests {
             for b in 0..net.sites() {
                 if a != b {
                     let r = net.route(a, b).unwrap();
-                    assert_eq!(
-                        net.bottleneck(&r),
-                        LinkClass::HippiSonet800.bytes_per_sec()
-                    );
+                    assert_eq!(net.bottleneck(&r), LinkClass::HippiSonet800.bytes_per_sec());
                 }
             }
         }

@@ -53,7 +53,12 @@ pub fn poisson_traffic(
             dst = rng.below(net.sites() as u64) as SiteId;
         }
         let bytes = rng.pareto(xm, 1.5).min(mean_bytes * 100.0) as u64;
-        out.push(TransferSpec::new(src, dst, bytes.max(1), SimTime::from_secs_f64(t)));
+        out.push(TransferSpec::new(
+            src,
+            dst,
+            bytes.max(1),
+            SimTime::from_secs_f64(t),
+        ));
     }
     out
 }
@@ -110,7 +115,10 @@ mod tests {
         let b = gen(7);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!((x.src, x.dst, x.bytes, x.start), (y.src, y.dst, y.bytes, y.start));
+            assert_eq!(
+                (x.src, x.dst, x.bytes, x.start),
+                (y.src, y.dst, y.bytes, y.start)
+            );
         }
         assert_ne!(a.len(), gen(8).len());
     }

@@ -32,7 +32,12 @@ fn main() {
 
     // --- 1. Stage the input deck. -----------------------------------------
     let stage = sim
-        .single_flow_time(&TransferSpec::new(seat, delta_site, field_bytes, SimTime::ZERO))
+        .single_flow_time(&TransferSpec::new(
+            seat,
+            delta_site,
+            field_bytes,
+            SimTime::ZERO,
+        ))
         .unwrap();
     println!(
         "stage {}^2 field ({} MB) from NASA Ames over T1: {:.1} min",
@@ -56,7 +61,12 @@ fn main() {
 
     // --- 3. Retrieve the result. -------------------------------------------
     let retrieve = sim
-        .single_flow_time(&TransferSpec::new(delta_site, seat, field_bytes, SimTime::ZERO))
+        .single_flow_time(&TransferSpec::new(
+            delta_site,
+            seat,
+            field_bytes,
+            SimTime::ZERO,
+        ))
         .unwrap();
     println!(
         "retrieve result field: {:.1} min",

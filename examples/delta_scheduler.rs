@@ -17,7 +17,12 @@ fn main() {
     let c = space.allocate(4, 8, true).unwrap();
     println!(
         "three jobs placed at ({},{}), ({},{}), ({},{}); {} nodes still free",
-        a.row, a.col, b.row, b.col, c.row, c.col,
+        a.row,
+        a.col,
+        b.row,
+        b.col,
+        c.row,
+        c.col,
         space.free_nodes()
     );
     let refused = space.allocate(16, 33, true).is_none();

@@ -54,7 +54,10 @@ fn main() {
     let approx = timed("Barnes-Hut quadtree, theta=0.5", || {
         nbody::accel_barnes_hut(&bodies, 0.5, 0.05)
     });
-    let mean: f64 = exact.iter().map(|e| (e.0 * e.0 + e.1 * e.1).sqrt()).sum::<f64>()
+    let mean: f64 = exact
+        .iter()
+        .map(|e| (e.0 * e.0 + e.1 * e.1).sqrt())
+        .sum::<f64>()
         / exact.len() as f64;
     let worst = exact
         .iter()

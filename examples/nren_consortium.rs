@@ -66,7 +66,10 @@ fn main() {
         let label = w.map_or("no window cap".to_string(), |w| {
             format!("{:4} KB window", w >> 10)
         });
-        println!("  {label:16} {:7.1} MB/s  ({t:.1} s)", (1u64 << 30) as f64 / t / 1e6);
+        println!(
+            "  {label:16} {:7.1} MB/s  ({t:.1} s)",
+            (1u64 << 30) as f64 / t / 1e6
+        );
     }
     println!("\n  -> the pipe is there; 1992 protocols can't fill it. Hence NREN's");
     println!("     'programs in protocols and security' line in exhibit T4-2.");

@@ -51,7 +51,12 @@ fn main() {
     for name in ["JPL", "Rice (CRPC)", "Purdue"] {
         let site = net.site(name).unwrap();
         let t = sim
-            .single_flow_time(&TransferSpec::new(site, delta_site, 10 << 20, SimTime::ZERO))
+            .single_flow_time(&TransferSpec::new(
+                site,
+                delta_site,
+                10 << 20,
+                SimTime::ZERO,
+            ))
             .unwrap();
         println!("  staging 10 MB from {name:12} takes {t}");
     }

@@ -14,7 +14,11 @@ use hpcc_kernels::sim::{lu1d, stencil};
 /// sizes.
 #[test]
 fn simulated_lu_verified_across_shapes() {
-    for (rows, cols, n, nb) in [(1usize, 2usize, 20usize, 2usize), (2, 2, 40, 4), (2, 3, 36, 8)] {
+    for (rows, cols, n, nb) in [
+        (1usize, 2usize, 20usize, 2usize),
+        (2, 2, 40, 4),
+        (2, 3, 36, 8),
+    ] {
         let m = Machine::new(presets::delta(rows, cols));
         let r = lu1d::run(&m, n, nb, 2026);
         assert!(
@@ -85,7 +89,9 @@ fn distributed_dot_product_matches_host() {
         let comm = Comm::world(&node);
         let chunk = len / p;
         let lo = node.rank() * chunk;
-        let local: f64 = (lo..lo + chunk).map(|i| (i as f64) * (i as f64 + 1.0)).sum();
+        let local: f64 = (lo..lo + chunk)
+            .map(|i| (i as f64) * (i as f64 + 1.0))
+            .sum();
         node.compute(Kernel::Daxpy, 2.0 * chunk as f64).await;
         comm.allreduce_sum(&[local]).await[0]
     });

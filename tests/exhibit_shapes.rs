@@ -55,11 +55,7 @@ fn f_t4_4c_efficiency_monotone_in_order() {
     let mut last = 0.0;
     for n in [1_000, 2_000, 4_000, 8_000] {
         let r = lu2d::run(&machine, n, 32);
-        assert!(
-            r.efficiency > last,
-            "n={n}: {} !> {last}",
-            r.efficiency
-        );
+        assert!(r.efficiency > last, "n={n}: {} !> {last}", r.efficiency);
         last = r.efficiency;
     }
 }

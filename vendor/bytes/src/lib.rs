@@ -1,0 +1,122 @@
+//! Vendored minimal subset of the `bytes` crate: a cheaply-clonable,
+//! immutable byte buffer. The build environment cannot reach a cargo
+//! registry, and the workspace only needs `Bytes` as a message payload
+//! (`from_static`, `len`, slice access, `Clone`).
+
+use std::borrow::Cow;
+
+/// A cheaply clonable immutable byte buffer.
+///
+/// Static data is borrowed (zero-copy, like the real crate); owned data
+/// is cloned on `Clone` — acceptable here because the simulator only
+/// ever clones payloads when a node program does.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Cow<'static, [u8]>,
+}
+
+impl Bytes {
+    pub const fn new() -> Bytes {
+        Bytes {
+            data: Cow::Borrowed(&[]),
+        }
+    }
+
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Cow::Borrowed(bytes),
+        }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Cow::Owned(data.to_vec()),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Cow::Owned(v),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::from_static(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Bytes {
+        Bytes::from_static(v.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_owned_round_trip() {
+        let s = Bytes::from_static(b"hpcc");
+        assert_eq!(s.len(), 4);
+        assert_eq!(&s[..], b"hpcc");
+        let o = Bytes::from(vec![1u8, 2, 3]);
+        let c = o.clone();
+        assert_eq!(c, o);
+        assert_eq!(c.to_vec(), vec![1, 2, 3]);
+        assert!(Bytes::new().is_empty());
+    }
+}

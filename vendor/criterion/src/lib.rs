@@ -1,0 +1,264 @@
+//! Vendored minimal bench harness exposing the subset of the `criterion`
+//! API the workspace benches use. The build environment has no registry
+//! access, so the real criterion cannot be resolved.
+//!
+//! Timing model: per benchmark, run the measured closure for
+//! `warm_up_time`, then keep running until `measurement_time` (at least
+//! `sample_size` iterations), and report the mean wall time per
+//! iteration. When a throughput is set, an elements/second rate is
+//! printed alongside — for the kernel benches that is GFLOP/s·1e-9 when
+//! `Throughput::Elements` carries a FLOP count.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration (builder-style, like criterion).
+#[derive(Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = self.clone();
+        run_one(&cfg, id, None, f);
+        self
+    }
+}
+
+/// Throughput annotation: how much work one iteration performs.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// `group/function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.name, self.param)
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(self.criterion, &label, self.throughput, |bn| f(bn, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to the measured closure; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    /// Mean seconds per iteration of the last `iter` call.
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.cfg.warm_up {
+            black_box(f());
+        }
+        // Measurement: at least `sample_size` iterations, and keep going
+        // until the measurement budget is spent.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if iters >= self.cfg.sample_size as u64 && start.elapsed() >= self.cfg.measurement {
+                break;
+            }
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_one(
+    cfg: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        cfg,
+        mean_secs: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  thrpt: {}", fmt_rate(n as f64 / b.mean_secs, "elem/s"))
+        }
+        Throughput::Bytes(n) => format!("  thrpt: {}", fmt_rate(n as f64 / b.mean_secs, "B/s")),
+    });
+    println!(
+        "bench {label:<48} time: {}  ({} iters){}",
+        fmt_time(b.mean_secs),
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:9.4} s ")
+    } else if secs >= 1e-3 {
+        format!("{:9.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:9.4} µs", secs * 1e6)
+    } else {
+        format!("{:9.2} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:8.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:8.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:8.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:8.3} {unit}")
+    }
+}
+
+/// `criterion_group!` — both the `name/config/targets` form and the
+/// simple `(name, targets...)` form expand to a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &2u32, |bn, &x| {
+            bn.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+}

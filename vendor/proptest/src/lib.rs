@@ -1,0 +1,196 @@
+//! Vendored minimal property-testing shim exposing the subset of the
+//! `proptest` macro API the workspace tests use: `proptest!` blocks with
+//! `arg in range` strategies, `prop_assert!`/`prop_assert_eq!`, and
+//! `prop_assume!`. The build environment cannot reach a cargo registry.
+//!
+//! Each generated `#[test]` runs `ProptestConfig::cases` cases with a
+//! deterministic per-test RNG (seeded from the test name), sampling every
+//! argument uniformly from its range. No shrinking: on failure the assert
+//! message carries the sampled values via the generated context line.
+
+/// Test-case count configuration (only `cases` is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by `prop_assume!` rejections: the case is discarded
+/// and does not count toward `cases`.
+#[derive(Debug)]
+pub struct TestCaseRejection;
+
+/// Deterministic splitmix64 stream for sampling strategy values.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from an arbitrary label (the macro passes the test name), so
+    /// every test gets a distinct but reproducible stream.
+    pub fn deterministic(label: &str) -> TestRng {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator. Implemented for the integer `Range` types the
+/// workspace tests draw from (`lo..hi`, exclusive upper bound).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Discard the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseRejection);
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: expands each contained
+/// `fn name(arg in strategy, ...) { body }` into a looping `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_each! { [$cfg] $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_each! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    ( [$cfg:expr] ) => {};
+    (
+        [$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // `$(#[$meta])*` re-emits the original attributes, including the
+        // `#[test]` the caller wrote.
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= cfg.cases.saturating_mul(100).saturating_add(1000),
+                    "prop_assume! rejected too many cases in {}",
+                    stringify!($name)
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                #[allow(clippy::redundant_closure_call)]
+                let case = (|| -> ::core::result::Result<(), $crate::TestCaseRejection> {
+                    { $body }
+                    Ok(())
+                })();
+                if case.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_each! { [$cfg] $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn in_range(a in 3u64..17, b in 1usize..5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((1..5).contains(&b));
+        }
+
+        /// prop_assume discards without failing.
+        #[test]
+        fn assume_discards(a in 0u32..4, b in 0u32..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        /// Config-less form uses the default case count.
+        #[test]
+        fn default_config(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

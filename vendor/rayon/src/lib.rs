@@ -1,0 +1,323 @@
+//! Vendored subset of the `rayon` API backed by `std::thread::scope`.
+//!
+//! The build environment has no network access and no cargo registry
+//! cache, so the real rayon cannot be resolved. This shim implements the
+//! slice/iterator combinators the workspace actually uses with genuine
+//! fork-join parallelism: items are pre-split into per-thread batches and
+//! executed on scoped OS threads.
+//!
+//! Semantics preserved relative to real rayon:
+//! * `for_each` over disjoint `&mut` chunks runs concurrently,
+//! * `map(..).collect()` keeps item order,
+//! * `reduce` combines per-thread folds with the caller's operator
+//!   (callers must supply associative ops, same as rayon),
+//! * thread count respects `RAYON_NUM_THREADS` and
+//!   `ThreadPoolBuilder::num_threads(..).build().install(..)`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Cached `RAYON_NUM_THREADS` / hardware default (0 = not resolved yet).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    let cached = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        default_threads()
+    }
+}
+
+/// Mirror of `rayon::ThreadPoolBuilder` (only `num_threads` is honoured).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads).max(1),
+        })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" is just a thread-count setting; `install` scopes it to the
+/// closure (parallel ops inside split into exactly this many batches).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// Split `items` into at most `current_num_threads()` contiguous batches
+/// and run `f(global_index, item)` on scoped threads.
+fn par_run<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let n = items.len();
+    let nt = current_num_threads().min(n).max(1);
+    if nt <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let mut batches: Vec<(usize, Vec<T>)> = Vec::with_capacity(nt);
+    let mut items = items;
+    // Peel batches off the back so each drain is O(batch).
+    let mut end = n;
+    for t in (0..nt).rev() {
+        let start = t * n / nt;
+        batches.push((start, items.drain(start..end).collect()));
+        end = start;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for (start, batch) in batches {
+            s.spawn(move || {
+                for (off, item) in batch.into_iter().enumerate() {
+                    f(start + off, item);
+                }
+            });
+        }
+    });
+}
+
+/// Like [`par_run`] but collects `f`'s results in item order.
+fn par_map_collect<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let slots: Vec<(&mut Option<R>, T)> = out.iter_mut().zip(items).collect();
+        par_run(slots, |_, (slot, item)| *slot = Some(f(item)));
+    }
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+/// A materialised "parallel iterator": a vector of items plus combinators
+/// that execute across threads. Covers the lazy-pipeline shapes the
+/// workspace uses (`enumerate`, `map`, `for_each`, `reduce`, `collect`).
+pub struct ParSeq<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParSeq<T> {
+    pub fn enumerate(self) -> ParSeq<(usize, T)> {
+        ParSeq {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_run(self.items, |_, item| f(item));
+    }
+
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParSeq::map`]: still unexecuted, consumed by
+/// `for_each`/`reduce`/`collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        par_run(self.items, |_, item| g(f(item)));
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_collect(self.items, self.f).into_iter().collect()
+    }
+
+    /// Fold each thread's batch, then combine batch results in batch
+    /// order. `op` must be associative (the rayon contract).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let f = self.f;
+        let partials: Vec<R> = par_map_collect(self.items, f);
+        partials.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Slice methods (`par_iter`, `par_chunks`, ...) — mirror of rayon's
+/// `ParallelSlice`/`IntoParallelRefIterator` for `[T]` and `Vec<T>`.
+pub trait ParSlice<T: Sync> {
+    fn par_iter(&self) -> ParSeq<&T>;
+    fn par_chunks(&self, size: usize) -> ParSeq<&[T]>;
+}
+
+pub trait ParSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParSeq<&mut T>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParSeq<&mut [T]>;
+}
+
+impl<T: Sync> ParSlice<T> for [T] {
+    fn par_iter(&self) -> ParSeq<&T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParSeq<&[T]> {
+        assert!(size > 0);
+        ParSeq {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+impl<T: Send> ParSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSeq<&mut T> {
+        ParSeq {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParSeq<&mut [T]> {
+        assert!(size > 0);
+        ParSeq {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{ParSlice, ParSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(7).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 7);
+        }
+    }
+
+    #[test]
+    fn par_iter_map_collect_keeps_order() {
+        let v: Vec<usize> = (0..997).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..997).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_reduce_max() {
+        let mut v: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin()).collect();
+        let expect = v.iter().cloned().fold(0.0f64, f64::max);
+        let got = v
+            .par_chunks_mut(13)
+            .enumerate()
+            .map(|(_, c)| c.iter().cloned().fold(0.0f64, f64::max))
+            .reduce(|| 0.0, f64::max);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0usize; 100];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        assert!(current_num_threads() >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+}
