@@ -3,7 +3,8 @@
 //! Commands mirror `hpcc_core::exhibits` registry entries:
 //! goals, responsibilities, funding, components, delta-peak,
 //! delta-linpack, linpack-sweep, mpp-series, consortium-net,
-//! nren-upgrade, casa, cas, grand-challenges, fft-scaling, index.
+//! nren-upgrade, casa, cas, grand-challenges, fft-scaling,
+//! resilience (accepts `--smoke` for a fast sweep), index.
 
 use hpcc_bench::{exhibits as ex, perf};
 
@@ -22,6 +23,7 @@ fn bench_kernels() -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("index");
+    let smoke = args.iter().any(|a| a == "--smoke");
 
     let run = |name: &str| -> Option<String> {
         Some(match name {
@@ -40,6 +42,7 @@ fn main() {
             "grand-challenges" => ex::grand_challenges(),
             "fft-scaling" => ex::fft_scaling(),
             "scheduler" => ex::scheduler(),
+            "resilience" => ex::resilience(smoke),
             "ablations" => ex::ablations(),
             "kernel-profile" => ex::kernel_profile(),
             "timeline" => ex::timeline(),
@@ -67,6 +70,7 @@ fn main() {
             "grand-challenges",
             "fft-scaling",
             "scheduler",
+            "resilience",
             "ablations",
             "kernel-profile",
             "timeline",
@@ -83,7 +87,8 @@ fn main() {
                      responsibilities, funding, components, delta-peak, delta-linpack, \
                      linpack-sweep, mpp-series, consortium-net, nren-upgrade, casa, cas, \
                      grand-challenges, fft-scaling, \
-                     scheduler, ablations, kernel-profile, timeline, bench-kernels"
+                     scheduler, resilience [--smoke], ablations, kernel-profile, timeline, \
+                     bench-kernels"
                 );
                 std::process::exit(2);
             }

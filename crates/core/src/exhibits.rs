@@ -169,6 +169,21 @@ pub fn registry() -> &'static [Exhibit] {
             bench: Some("ablations"),
         },
         Exhibit {
+            id: "RES-1",
+            title: "Fault injection & recovery: Young's checkpoint optimum, scheduler \
+                    crashes, WAN outages",
+            kind: ExhibitKind::Table,
+            report_cmd: "resilience",
+            modules: &[
+                "des::faults",
+                "delta_mesh::sim",
+                "delta_mesh::sched",
+                "nren_netsim::flow",
+                "hpcc_kernels::sim::lu2d",
+            ],
+            bench: Some("ablations/resilience"),
+        },
+        Exhibit {
             id: "GC-0",
             title: "ASTA kernel profile on the simulated Delta (who scales, who doesn't)",
             kind: ExhibitKind::Figure,

@@ -95,6 +95,21 @@ impl Tasks {
         !self.ready.queue.lock().unwrap().is_empty()
     }
 
+    /// Abort a live task: drop its future without running it further.
+    /// Returns true if the task was live. Any wakes already queued for
+    /// the id are skipped silently, the same as for a finished task.
+    /// This is how the embedding simulator kills the program of a
+    /// crashed node.
+    pub fn abort(&mut self, id: TaskId) -> bool {
+        match self.slots.get_mut(id).and_then(Option::take) {
+            Some(_fut) => {
+                self.live -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Poll every ready task until the ready queue drains. Returns the
     /// number of polls performed. Tasks woken while running are processed
     /// in the same call (FIFO), so this returns only at a quiescent point
@@ -367,6 +382,27 @@ mod tests {
         tasks.run_ready();
         assert!(tasks.all_done());
         assert_eq!(*done.borrow(), 5000);
+    }
+
+    #[test]
+    fn abort_drops_a_parked_task() {
+        let mut tasks = Tasks::new();
+        let c: Completion<()> = Completion::new();
+        let c2 = c.clone();
+        let out = Rc::new(RefCell::new(false));
+        let o2 = Rc::clone(&out);
+        let id = tasks.spawn(async move {
+            c2.wait().await;
+            *o2.borrow_mut() = true;
+        });
+        tasks.run_ready();
+        assert!(tasks.abort(id), "task was live");
+        assert!(tasks.all_done());
+        assert!(!tasks.abort(id), "second abort is a no-op");
+        // The fulfilment after death must be harmless and never run the body.
+        c.fulfil(());
+        tasks.run_ready();
+        assert!(!*out.borrow());
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Deterministic fault-injection plans.
+//!
+//! The machines the paper funds were famously unreliable — a 528-node
+//! Touchstone Delta had a machine-level MTBF measured in hours — so the
+//! simulators accept a [`FaultPlan`]: a time-ordered script of node
+//! crashes, node slowdowns, and link outages to inject at simulated
+//! times. Plans are either written explicitly (scripted) or drawn from a
+//! seeded exponential inter-arrival [`MtbfModel`]; in both cases the
+//! plan is a plain sorted `Vec` computed up front, so any run is
+//! bit-identically replayable from `(seed, model)` or from the script.
+//!
+//! The taxonomy:
+//! * **NodeCrash** — permanent fail-stop; the node's program is aborted.
+//! * **NodeSlow** — transient thermal/ECC-retry degradation; compute on
+//!   the node is scaled by `factor` until `until`.
+//! * **LinkDown** — the link carries no traffic until `until`. A *flap*
+//!   is simply a `LinkDown` with a short repair window.
+//!
+//! An empty plan injects nothing and schedules nothing, which is what
+//! guarantees zero-fault runs stay bit-identical to the pre-fault
+//! simulator (same event calendar, same tie-break sequence numbers).
+
+use crate::rng::Rng;
+use crate::time::{Dur, SimTime};
+
+/// One kind of injected hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Permanent fail-stop failure of `node`.
+    NodeCrash { node: usize },
+    /// `node` computes `factor`× slower until `until`.
+    NodeSlow {
+        node: usize,
+        factor: f64,
+        until: SimTime,
+    },
+    /// Link `link` carries no traffic until `until`.
+    LinkDown { link: usize, until: SimTime },
+}
+
+/// A fault occurring at a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub kind: FaultKind,
+}
+
+/// Exponential inter-arrival (memoryless) fault-rate model. All rates
+/// are per *entity* (per node, per link); `None` disables that class.
+#[derive(Debug, Clone)]
+pub struct MtbfModel {
+    /// Mean time between permanent crashes, per node.
+    pub node_mtbf: Option<Dur>,
+    /// Mean time between slowdown episodes, per node.
+    pub slow_mtbf: Option<Dur>,
+    /// Compute-time multiplier during a slowdown episode (> 1).
+    pub slow_factor: f64,
+    /// Length of one slowdown episode.
+    pub slow_duration: Dur,
+    /// Mean time between hard link failures, per link.
+    pub link_mtbf: Option<Dur>,
+    /// Repair time for a hard link failure.
+    pub link_repair: Dur,
+    /// Mean time between short link flaps, per link.
+    pub flap_mtbf: Option<Dur>,
+    /// Length of one flap.
+    pub flap_duration: Dur,
+}
+
+impl MtbfModel {
+    /// A model that never faults anything.
+    pub fn none() -> MtbfModel {
+        MtbfModel {
+            node_mtbf: None,
+            slow_mtbf: None,
+            slow_factor: 1.0,
+            slow_duration: Dur::ZERO,
+            link_mtbf: None,
+            link_repair: Dur::ZERO,
+            flap_mtbf: None,
+            flap_duration: Dur::ZERO,
+        }
+    }
+
+    /// Only permanent node crashes, at the given per-node MTBF.
+    pub fn node_crashes(mtbf: Dur) -> MtbfModel {
+        MtbfModel {
+            node_mtbf: Some(mtbf),
+            ..MtbfModel::none()
+        }
+    }
+
+    /// Only link outages: hard failures at `mtbf` repaired after `repair`.
+    pub fn link_outages(mtbf: Dur, repair: Dur) -> MtbfModel {
+        MtbfModel {
+            link_mtbf: Some(mtbf),
+            link_repair: repair,
+            ..MtbfModel::none()
+        }
+    }
+}
+
+/// A time-ordered script of faults to inject into one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    seed: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, schedules nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from explicit events (any order; sorted internally).
+    pub fn scripted(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events, seed: None }
+    }
+
+    /// Append one scripted event, keeping the plan time-ordered.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Draw a plan from `model` for a machine of `nodes` nodes and
+    /// `links` links over `[0, horizon)`. Fully determined by the
+    /// arguments: entity streams are forked from the seed in a fixed
+    /// order, so the same call always yields the same plan.
+    pub fn seeded(
+        seed: u64,
+        model: &MtbfModel,
+        nodes: usize,
+        links: usize,
+        horizon: Dur,
+    ) -> FaultPlan {
+        let mut root = Rng::new(seed);
+        let hz = horizon.as_secs_f64();
+        let mut events = Vec::new();
+
+        // Permanent crashes: at most one per node (fail-stop).
+        if let Some(mtbf) = model.node_mtbf {
+            let mean = mtbf.as_secs_f64();
+            for node in 0..nodes {
+                let mut r = root.fork();
+                let t = r.exp(mean);
+                if t < hz {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        kind: FaultKind::NodeCrash { node },
+                    });
+                }
+            }
+        }
+
+        // Transient slowdown episodes: renewals per node.
+        if let Some(mtbf) = model.slow_mtbf {
+            let mean = mtbf.as_secs_f64();
+            let dur = model.slow_duration;
+            for node in 0..nodes {
+                let mut r = root.fork();
+                let mut t = r.exp(mean);
+                while t < hz {
+                    let at = SimTime::from_secs_f64(t);
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::NodeSlow {
+                            node,
+                            factor: model.slow_factor,
+                            until: at + dur,
+                        },
+                    });
+                    t += dur.as_secs_f64() + r.exp(mean);
+                }
+            }
+        }
+
+        // Link outages: hard failures and flaps are renewals per link.
+        for (mtbf, repair) in [
+            (model.link_mtbf, model.link_repair),
+            (model.flap_mtbf, model.flap_duration),
+        ] {
+            let Some(mtbf) = mtbf else { continue };
+            let mean = mtbf.as_secs_f64();
+            for link in 0..links {
+                let mut r = root.fork();
+                let mut t = r.exp(mean);
+                while t < hz {
+                    let at = SimTime::from_secs_f64(t);
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::LinkDown {
+                            link,
+                            until: at + repair,
+                        },
+                    });
+                    t += repair.as_secs_f64() + r.exp(mean);
+                }
+            }
+        }
+
+        events.sort_by_key(|e| e.at);
+        FaultPlan {
+            events,
+            seed: Some(seed),
+        }
+    }
+
+    /// The seed the plan was drawn from, if it was seeded.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The time-ordered event script.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Times and targets of permanent node crashes, in time order.
+    pub fn node_crashes(&self) -> impl Iterator<Item = (SimTime, usize)> + '_ {
+        self.events.iter().filter_map(|e| match e.kind {
+            FaultKind::NodeCrash { node } => Some((e.at, node)),
+            _ => None,
+        })
+    }
+}
+
+/// Read the exhibit fault seed from `HPCC_FAULT_SEED`, falling back to
+/// `default`. This is how CI varies the seed across whole test runs to
+/// flush out seed-dependent nondeterminism.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("HPCC_FAULT_SEED") {
+        Ok(s) => s.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MtbfModel {
+        MtbfModel {
+            node_mtbf: Some(Dur::from_secs(40)),
+            slow_mtbf: Some(Dur::from_secs(90)),
+            slow_factor: 3.0,
+            slow_duration: Dur::from_secs(5),
+            link_mtbf: Some(Dur::from_secs(120)),
+            link_repair: Dur::from_secs(10),
+            flap_mtbf: Some(Dur::from_secs(60)),
+            flap_duration: Dur::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::seeded(42, &model(), 64, 224, Dur::from_secs(100));
+        let b = FaultPlan::seeded(42, &model(), 64, 224, Dur::from_secs(100));
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::seeded(1, &model(), 64, 224, Dur::from_secs(100));
+        let b = FaultPlan::seeded(2, &model(), 64, 224, Dur::from_secs(100));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let p = FaultPlan::seeded(7, &model(), 32, 100, Dur::from_secs(300));
+        for w in p.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn at_most_one_crash_per_node() {
+        let p = FaultPlan::seeded(
+            9,
+            &MtbfModel::node_crashes(Dur::from_secs(10)),
+            16,
+            0,
+            Dur::from_secs(1000),
+        );
+        let mut crashed = [false; 16];
+        for (_, n) in p.node_crashes() {
+            assert!(!crashed[n], "node {n} crashed twice");
+            crashed[n] = true;
+        }
+        assert!(
+            crashed.iter().filter(|&&c| c).count() >= 14,
+            "mtbf << horizon"
+        );
+    }
+
+    #[test]
+    fn empty_model_empty_plan() {
+        let p = FaultPlan::seeded(3, &MtbfModel::none(), 528, 2048, Dur::from_secs(1000));
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn scripted_sorts() {
+        let mut p = FaultPlan::none();
+        p.push(
+            SimTime::from_secs_f64(2.0),
+            FaultKind::NodeCrash { node: 1 },
+        );
+        p.push(
+            SimTime::from_secs_f64(1.0),
+            FaultKind::NodeCrash { node: 0 },
+        );
+        assert_eq!(p.events()[0].at, SimTime::from_secs_f64(1.0));
+        assert_eq!(p.seed(), None);
+    }
+
+    #[test]
+    fn seed_env_fallback() {
+        // Not set in the test environment by default.
+        if std::env::var("HPCC_FAULT_SEED").is_err() {
+            assert_eq!(seed_from_env(1992), 1992);
+        } else {
+            let _ = seed_from_env(1992); // must not panic on any value
+        }
+    }
+}

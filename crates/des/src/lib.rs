@@ -14,12 +14,14 @@
 //! time, FIFO tie-breaking, a locally implemented Xoshiro256** generator.
 
 pub mod exec;
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use exec::{yield_now, Completion, TaskId, Tasks};
+pub use faults::{seed_from_env, FaultEvent, FaultKind, FaultPlan, MtbfModel};
 pub use queue::EventQueue;
 pub use rng::Rng;
 pub use stats::{Histogram, Summary};

@@ -20,6 +20,7 @@
 
 use crate::lu::linpack_flops;
 use delta_mesh::{Comm, Kernel, Machine, MachineConfig, RunReport};
+use des::rng::Rng;
 use des::time::Dur;
 
 /// Result of a modelled run.
@@ -88,14 +89,36 @@ fn allreduce_latency(cfg: &MachineConfig, p: usize, bytes: u64) -> Dur {
 
 /// Run the timing model for order `n`, panel width `nb`.
 pub fn run(machine: &Machine, n: usize, nb: usize) -> Lu2dResult {
+    run_checkpointed(machine, n, nb, 0).result
+}
+
+/// A checkpointed run: the timing result plus where in the fault-free
+/// timeline each checkpoint completed.
+#[derive(Debug, Clone)]
+pub struct CkptRun {
+    pub result: Lu2dResult,
+    /// Checkpoint cadence in panel steps (0 = no checkpoints).
+    pub every_steps: usize,
+    /// Completion time of each checkpoint, seconds into the run.
+    pub ckpt_times_s: Vec<f64>,
+}
+
+/// Run the LU timing model, pausing every `every_steps` panel steps to
+/// checkpoint: a world barrier, then every node drains its local matrix
+/// share to stable storage at mesh link bandwidth. `every_steps == 0`
+/// disables checkpointing and reproduces [`run`] exactly.
+pub fn run_checkpointed(machine: &Machine, n: usize, nb: usize, every_steps: usize) -> CkptRun {
     let p = machine.config().nodes();
     let (pr, pc) = choose_grid(p);
     let cfg = machine.config().clone();
     let pivot_cost = allreduce_latency(&cfg, pr, 16);
+    let io_bw = cfg.net.bandwidth;
 
-    let (_, report) = machine.run(move |node| {
+    let (mut times, report) = machine.run(move |node| {
         let pivot_cost = pivot_cost;
         async move {
+            let world = (every_steps > 0).then(|| Comm::world(&node));
+            let mut ckpts: Vec<f64> = Vec::new();
             let rank = node.rank();
             let my_prow = rank / pc;
             let my_pcol = rank % pc;
@@ -108,6 +131,20 @@ pub fn run(machine: &Machine, n: usize, nb: usize) -> Lu2dResult {
 
             let steps = n.div_ceil(nb);
             for k in 0..steps {
+                if let Some(w) = &world {
+                    if k > 0 && k.is_multiple_of(every_steps) {
+                        // Consistent checkpoint: quiesce, drain the local
+                        // matrix share to stable storage at link speed,
+                        // then agree the checkpoint is durable.
+                        w.barrier().await;
+                        let my_bytes = 8.0
+                            * local_count(0, n, nb, pr, my_prow) as f64
+                            * local_count(0, n, nb, pc, my_pcol) as f64;
+                        node.delay(Dur::from_secs_f64(my_bytes / io_bw)).await;
+                        w.barrier().await;
+                        ckpts.push(node.now().as_secs_f64());
+                    }
+                }
                 let kb = nb.min(n - k * nb);
                 let diag = k * nb;
                 let trail = diag + kb;
@@ -159,21 +196,131 @@ pub fn run(machine: &Machine, n: usize, nb: usize) -> Lu2dResult {
                     node.compute(Kernel::Dtrsm, f).await;
                 }
             }
+            ckpts
         }
     });
 
     let seconds = report.elapsed.as_secs_f64();
     let gflops = linpack_flops(n) / seconds / 1e9;
     let peak = machine.config().peak_flops() / 1e9;
-    Lu2dResult {
-        n,
-        nb,
-        grid: (pr, pc),
-        seconds,
-        gflops,
-        efficiency: gflops / peak,
-        report,
+    CkptRun {
+        result: Lu2dResult {
+            n,
+            nb,
+            grid: (pr, pc),
+            seconds,
+            gflops,
+            efficiency: gflops / peak,
+            report,
+        },
+        every_steps,
+        ckpt_times_s: times.swap_remove(0),
     }
+}
+
+/// Young's approximation of the optimal checkpoint interval:
+/// `sqrt(2 · MTBF · checkpoint_cost)`.
+pub fn young_optimal_interval(mtbf_s: f64, ckpt_cost_s: f64) -> f64 {
+    (2.0 * mtbf_s * ckpt_cost_s).sqrt()
+}
+
+/// One point of the checkpoint-interval sweep.
+#[derive(Debug, Clone)]
+pub struct ResiliencePoint {
+    /// Requested checkpoint interval, seconds of fault-free progress.
+    pub interval_s: f64,
+    /// The panel-step cadence that interval maps to.
+    pub every_steps: usize,
+    /// Checkpoints taken in the fault-free run.
+    pub checkpoints: usize,
+    /// Fault-free runtime including checkpoint overhead.
+    pub run_seconds: f64,
+    /// Mean per-checkpoint cost (overhead / checkpoints taken).
+    pub ckpt_cost_s: f64,
+    /// Expected completion time under the MTBF, averaged over trials.
+    pub mean_completion_s: f64,
+    /// Mean failures hit per trial.
+    pub mean_failures: f64,
+}
+
+/// Sweep checkpoint intervals against a machine MTBF for the LU run.
+///
+/// Each interval is mapped to a panel-step cadence, the checkpointed
+/// run is simulated fault-free to price the checkpoints (cost comes out
+/// of the mesh bandwidth model, not a hand-picked constant), and then a
+/// deterministic Monte Carlo replay draws failure times from `seed` and
+/// rolls the run back to its last durable checkpoint each time —
+/// restart costs one checkpoint read. The resulting completion-time
+/// curve has an interior minimum near [`young_optimal_interval`].
+pub fn resilience_sweep(
+    machine: &Machine,
+    n: usize,
+    nb: usize,
+    mtbf_s: f64,
+    intervals_s: &[f64],
+    seed: u64,
+    trials: usize,
+) -> Vec<ResiliencePoint> {
+    assert!(mtbf_s > 0.0 && trials > 0);
+    let base = run_checkpointed(machine, n, nb, 0);
+    let base_s = base.result.seconds;
+    let steps = n.div_ceil(nb);
+    let step_s = base_s / steps as f64;
+
+    intervals_s
+        .iter()
+        .map(|&interval_s| {
+            let every_steps = ((interval_s / step_s).round() as usize).clamp(1, steps);
+            let ck = run_checkpointed(machine, n, nb, every_steps);
+            let run_seconds = ck.result.seconds;
+            let checkpoints = ck.ckpt_times_s.len();
+            let ckpt_cost_s = if checkpoints > 0 {
+                (run_seconds - base_s) / checkpoints as f64
+            } else {
+                0.0
+            };
+            // Restarting means reading the checkpoint back: same bytes,
+            // same pipes, so the same cost as writing it.
+            let restart_s = ckpt_cost_s;
+
+            let mut total = 0.0f64;
+            let mut failures = 0u64;
+            let mut rng = Rng::new(seed ^ (every_steps as u64).wrapping_mul(0x9e37_79b9));
+            for _ in 0..trials {
+                let mut trial = rng.fork();
+                // Progress position in the fault-free checkpointed
+                // timeline; durable progress is the last checkpoint.
+                let mut saved = 0.0f64;
+                let mut wall = 0.0f64;
+                loop {
+                    let ttf = trial.exp(mtbf_s);
+                    if saved + ttf >= run_seconds {
+                        wall += run_seconds - saved;
+                        break;
+                    }
+                    failures += 1;
+                    wall += ttf + restart_s;
+                    let failed_at = saved + ttf;
+                    saved = ck
+                        .ckpt_times_s
+                        .iter()
+                        .copied()
+                        .rfind(|&c| c <= failed_at)
+                        .unwrap_or(0.0);
+                }
+                total += wall;
+            }
+            ResiliencePoint {
+                interval_s,
+                every_steps,
+                checkpoints,
+                run_seconds,
+                ckpt_cost_s,
+                mean_completion_s: total / trials as f64,
+                mean_failures: failures as f64 / trials as f64,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -236,5 +383,61 @@ mod tests {
         let b = run(&m, 1500, 32);
         assert_eq!(a.report.elapsed, b.report.elapsed);
         assert_eq!(a.report.messages, b.report.messages);
+    }
+
+    #[test]
+    fn checkpoints_cost_time_and_land_in_order() {
+        let m = Machine::new(presets::delta(4, 4));
+        let base = run(&m, 2000, 64);
+        let ck = run_checkpointed(&m, 2000, 64, 5);
+        // steps = ceil(2000/64) = 32; checkpoints at k = 5,10,...,30.
+        assert_eq!(ck.ckpt_times_s.len(), 6);
+        assert!(ck.result.seconds > base.seconds, "checkpoints are not free");
+        assert!(ck
+            .ckpt_times_s
+            .windows(2)
+            .all(|w| w[0] < w[1] && w[1] < ck.result.seconds));
+        let again = run_checkpointed(&m, 2000, 64, 5);
+        assert_eq!(ck.result.report.elapsed, again.result.report.elapsed);
+        assert_eq!(ck.ckpt_times_s, again.ckpt_times_s);
+    }
+
+    #[test]
+    fn zero_cadence_matches_plain_run() {
+        let m = Machine::new(presets::delta(2, 4));
+        let plain = run(&m, 1500, 32);
+        let ck = run_checkpointed(&m, 1500, 32, 0);
+        assert_eq!(plain.report.elapsed, ck.result.report.elapsed);
+        assert_eq!(plain.report.events, ck.result.report.events);
+        assert!(ck.ckpt_times_s.is_empty());
+    }
+
+    #[test]
+    fn young_interval_shape() {
+        assert_eq!(
+            young_optimal_interval(7200.0, 50.0),
+            (2.0f64 * 7200.0 * 50.0).sqrt()
+        );
+        assert!(young_optimal_interval(3600.0, 10.0) < young_optimal_interval(3600.0, 40.0));
+    }
+
+    #[test]
+    fn sweep_replays_from_seed_and_faults_cost_time() {
+        let m = Machine::new(presets::delta(2, 4));
+        let intervals = [5.0, 20.0, 80.0];
+        let a = resilience_sweep(&m, 1500, 32, 60.0, &intervals, 42, 16);
+        let b = resilience_sweep(&m, 1500, 32, 60.0, &intervals, 42, 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mean_completion_s, y.mean_completion_s);
+            assert_eq!(x.mean_failures, y.mean_failures);
+        }
+        for p in &a {
+            assert!(p.mean_completion_s >= p.run_seconds);
+            assert!(p.checkpoints == 0 || p.ckpt_cost_s > 0.0);
+        }
+        assert!(
+            a.iter().any(|p| p.checkpoints > 0),
+            "at least one interval fits inside the run"
+        );
     }
 }

@@ -43,6 +43,10 @@ pub struct MeshSpace {
     rows: usize,
     cols: usize,
     busy: Vec<bool>,
+    /// Permanently retired nodes (hardware failures). Kept separate from
+    /// `busy` so freeing a sub-mesh that contains a failed node does not
+    /// resurrect it.
+    failed: Vec<bool>,
     allocated: Vec<SubMesh>,
 }
 
@@ -52,6 +56,7 @@ impl MeshSpace {
             rows,
             cols,
             busy: vec![false; rows * cols],
+            failed: vec![false; rows * cols],
             allocated: Vec::new(),
         }
     }
@@ -77,11 +82,36 @@ impl MeshSpace {
     }
 
     pub fn free_nodes(&self) -> usize {
-        self.busy.iter().filter(|&&b| !b).count()
+        self.busy
+            .iter()
+            .zip(&self.failed)
+            .filter(|&(&b, &f)| !b && !f)
+            .count()
+    }
+
+    /// Nodes permanently retired by hardware failure.
+    pub fn failed_nodes(&self) -> usize {
+        self.failed.iter().filter(|&&f| f).count()
     }
 
     pub fn allocations(&self) -> &[SubMesh] {
         &self.allocated
+    }
+
+    /// Permanently retire `node` (row-major id): it never satisfies
+    /// another allocation. Idempotent; the node may currently be inside
+    /// an allocated sub-mesh (the scheduler drains that job separately).
+    pub fn fail_node(&mut self, node: usize) {
+        self.failed[node] = true;
+    }
+
+    /// The allocated sub-mesh containing `node`, if any.
+    pub fn allocation_containing(&self, node: usize) -> Option<SubMesh> {
+        let (r, c) = (node / self.cols, node % self.cols);
+        self.allocated
+            .iter()
+            .copied()
+            .find(|a| r >= a.row && r < a.row + a.rows && c >= a.col && c < a.col + a.cols)
     }
 
     fn fits_at(&self, row: usize, col: usize, r: usize, c: usize) -> bool {
@@ -90,7 +120,7 @@ impl MeshSpace {
         }
         for i in row..row + r {
             for j in col..col + c {
-                if self.busy[i * self.cols + j] {
+                if self.busy[i * self.cols + j] || self.failed[i * self.cols + j] {
                     return false;
                 }
             }
@@ -256,6 +286,23 @@ mod tests {
         };
         let ids: Vec<usize> = sm.node_ids(33).collect();
         assert_eq!(ids, vec![33 + 2, 33 + 3, 2 * 33 + 2, 2 * 33 + 3]);
+    }
+
+    #[test]
+    fn failed_nodes_stay_retired() {
+        let mut m = MeshSpace::new(2, 2);
+        let a = m.allocate(2, 2, false).unwrap();
+        assert_eq!(m.allocation_containing(3), Some(a));
+        m.fail_node(3);
+        m.free(a);
+        assert_eq!(m.free_nodes(), 3, "failed node is not free");
+        assert_eq!(m.failed_nodes(), 1);
+        assert!(m.allocate(2, 2, false).is_none(), "frame needs node 3");
+        let b = m.allocate(2, 1, false).unwrap();
+        assert_eq!((b.row, b.col), (0, 0));
+        assert_eq!(m.allocation_containing(1), None, "node 1 is free");
+        m.fail_node(3); // idempotent
+        assert_eq!(m.failed_nodes(), 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! fragmentation refusals.
 
 use crate::partition::{MeshSpace, SubMesh};
+use des::faults::FaultPlan;
 use des::queue::EventQueue;
 use des::rng::Rng;
 use des::stats::Summary;
@@ -40,18 +41,37 @@ pub enum Policy {
     Backfill,
 }
 
-/// Completed-run record.
+/// A placement that was killed mid-run by a node failure; the job was
+/// re-queued afterwards.
+#[derive(Debug, Clone, Copy)]
+pub struct KilledAttempt {
+    pub started: SimTime,
+    pub killed: SimTime,
+    pub placement: SubMesh,
+}
+
+/// Completed-run record. `started`/`finished`/`placement` describe the
+/// attempt that ran to completion; `attempts` lists every earlier
+/// placement a node failure killed.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
     pub job: Job,
+    /// Killed-and-requeued placements, in order, before the one that ran.
+    pub attempts: Vec<KilledAttempt>,
     pub started: SimTime,
     pub finished: SimTime,
     pub placement: SubMesh,
 }
 
 impl JobRecord {
+    /// Queue wait before the successful attempt (re-queue time included).
     pub fn wait(&self) -> Dur {
         self.started - self.job.arrival
+    }
+
+    /// How many times this job was killed and re-queued.
+    pub fn requeues(&self) -> usize {
+        self.attempts.len()
     }
 }
 
@@ -59,6 +79,7 @@ impl JobRecord {
 #[derive(Debug, Clone)]
 pub struct SchedReport {
     pub policy: Policy,
+    /// Jobs that ran to completion.
     pub jobs: usize,
     pub makespan: Dur,
     /// Busy node-time over total node-time until makespan.
@@ -67,33 +88,81 @@ pub struct SchedReport {
     pub max_wait: Dur,
     /// Placement attempts refused despite sufficient free nodes.
     pub fragmentation_refusals: u64,
+    /// Placements killed by node failures (then re-queued).
+    pub jobs_killed: u64,
+    /// Nodes permanently retired by failures during the run.
+    pub nodes_failed: usize,
+    /// Partial work thrown away by kills, as a fraction of total
+    /// node-time — utilization the faults ate.
+    pub utilization_lost_to_faults: f64,
+    /// Ids of jobs whose shape no longer fits the surviving mesh.
+    pub unrunnable: Vec<usize>,
     pub records: Vec<JobRecord>,
 }
 
 enum Ev {
     Arrive(usize),
-    Finish(usize, SubMesh),
+    /// Job index + attempt number; stale attempts (killed placements)
+    /// are ignored when they fire.
+    Finish(usize, u32),
+    /// Permanent failure of a node (row-major id).
+    Fault(usize),
+}
+
+/// A placement currently on the machine.
+struct Running {
+    idx: usize,
+    attempt: u32,
+    started: SimTime,
+    placement: SubMesh,
 }
 
 /// Run the scheduler over a job batch on an `rows × cols` mesh.
-pub fn run(rows: usize, cols: usize, mut jobs: Vec<Job>, policy: Policy) -> SchedReport {
+pub fn run(rows: usize, cols: usize, jobs: Vec<Job>, policy: Policy) -> SchedReport {
+    run_with_faults(rows, cols, jobs, policy, &FaultPlan::none())
+}
+
+/// Run the scheduler under a [`FaultPlan`]. Only `NodeCrash` events
+/// matter at this level: the failed node is retired from the allocator,
+/// the job holding it (if any) is killed and re-queued, and jobs whose
+/// shape no longer fits the surviving mesh are reported unrunnable
+/// instead of blocking the queue forever.
+pub fn run_with_faults(
+    rows: usize,
+    cols: usize,
+    mut jobs: Vec<Job>,
+    policy: Policy,
+    plan: &FaultPlan,
+) -> SchedReport {
     jobs.sort_by_key(|j| (j.arrival, j.id));
     let mut space = MeshSpace::new(rows, cols);
     let mut q: EventQueue<Ev> = EventQueue::new();
     for (i, j) in jobs.iter().enumerate() {
         q.schedule(j.arrival, Ev::Arrive(i));
     }
+    for (at, node) in plan.node_crashes() {
+        assert!(node < rows * cols, "fault plan targets node {node}");
+        q.schedule(at, Ev::Fault(node));
+    }
     let mut queue: Vec<usize> = Vec::new(); // waiting job indices, FCFS order
     let mut records: Vec<Option<JobRecord>> = jobs.iter().map(|_| None).collect();
+    let mut killed: Vec<Vec<KilledAttempt>> = jobs.iter().map(|_| Vec::new()).collect();
+    let mut attempt_of: Vec<u32> = vec![0; jobs.len()];
+    let mut running: Vec<Running> = Vec::new();
+    let mut unrunnable: Vec<usize> = Vec::new();
     let mut frag = 0u64;
+    let mut jobs_killed = 0u64;
     let mut busy_node_time = 0.0f64;
+    let mut lost_node_time = 0.0f64;
+    let mut makespan = Dur::ZERO;
 
-    // Try to start queued jobs under the policy; returns started ones.
+    // Try to start queued jobs under the policy.
     let try_start = |space: &mut MeshSpace,
                      queue: &mut Vec<usize>,
                      jobs: &[Job],
                      q: &mut EventQueue<Ev>,
-                     records: &mut [Option<JobRecord>],
+                     running: &mut Vec<Running>,
+                     attempt_of: &[u32],
                      frag: &mut u64,
                      policy: Policy| {
         let now = q.now();
@@ -104,11 +173,11 @@ pub fn run(rows: usize, cols: usize, mut jobs: Vec<Job>, policy: Policy) -> Sche
             match space.allocate(r, c, true) {
                 Some(sm) => {
                     queue.remove(i);
-                    q.schedule(now + jobs[idx].runtime, Ev::Finish(idx, sm));
-                    records[idx] = Some(JobRecord {
-                        job: jobs[idx].clone(),
+                    q.schedule(now + jobs[idx].runtime, Ev::Finish(idx, attempt_of[idx]));
+                    running.push(Running {
+                        idx,
+                        attempt: attempt_of[idx],
                         started: now,
-                        finished: now + jobs[idx].runtime,
                         placement: sm,
                     });
                     // Restart the scan: freeing order may let earlier
@@ -129,35 +198,107 @@ pub fn run(rows: usize, cols: usize, mut jobs: Vec<Job>, policy: Policy) -> Sche
         }
     };
 
-    while let Some((_, ev)) = q.pop() {
-        match ev {
-            Ev::Arrive(i) => {
-                queue.push(i);
+    loop {
+        while let Some((_, ev)) = q.pop() {
+            let now = q.now();
+            match ev {
+                Ev::Arrive(i) => {
+                    queue.push(i);
+                }
+                Ev::Finish(i, attempt) => {
+                    if attempt != attempt_of[i] {
+                        // The placement this Finish belongs to was killed.
+                        continue;
+                    }
+                    let pos = running
+                        .iter()
+                        .position(|r| r.idx == i && r.attempt == attempt)
+                        .expect("finishing job is running");
+                    let entry = running.swap_remove(pos);
+                    busy_node_time += jobs[i].nodes() as f64 * jobs[i].runtime.as_secs_f64();
+                    makespan = makespan.max(now - SimTime::ZERO);
+                    space.free(entry.placement);
+                    records[i] = Some(JobRecord {
+                        job: jobs[i].clone(),
+                        attempts: std::mem::take(&mut killed[i]),
+                        started: entry.started,
+                        finished: now,
+                        placement: entry.placement,
+                    });
+                }
+                Ev::Fault(node) => {
+                    let victim = space.allocation_containing(node);
+                    space.fail_node(node);
+                    makespan = makespan.max(now - SimTime::ZERO);
+                    if let Some(sm) = victim {
+                        let pos = running
+                            .iter()
+                            .position(|r| r.placement == sm)
+                            .expect("allocated sub-mesh has a running job");
+                        let entry = running.swap_remove(pos);
+                        // Partial work is lost; the sub-mesh is drained
+                        // and the job resubmitted at the back of the
+                        // queue (a fresh submission at kill time).
+                        lost_node_time +=
+                            jobs[entry.idx].nodes() as f64 * (now - entry.started).as_secs_f64();
+                        killed[entry.idx].push(KilledAttempt {
+                            started: entry.started,
+                            killed: now,
+                            placement: sm,
+                        });
+                        attempt_of[entry.idx] += 1;
+                        jobs_killed += 1;
+                        space.free(sm);
+                        queue.push(entry.idx);
+                    }
+                }
             }
-            Ev::Finish(i, sm) => {
-                busy_node_time += jobs[i].nodes() as f64 * jobs[i].runtime.as_secs_f64();
-                space.free(sm);
+            try_start(
+                &mut space,
+                &mut queue,
+                &jobs,
+                &mut q,
+                &mut running,
+                &attempt_of,
+                &mut frag,
+                policy,
+            );
+        }
+        // The calendar drained. Fault-free, an empty queue is an
+        // invariant; under faults, jobs whose shape no longer fits the
+        // surviving mesh are reported and removed so FCFS heads cannot
+        // block runnable work behind them forever.
+        if plan.is_empty() {
+            assert!(queue.is_empty(), "all jobs must eventually run");
+        }
+        if queue.is_empty() {
+            break;
+        }
+        debug_assert!(running.is_empty() && space.allocations().is_empty());
+        queue.retain(|&idx| {
+            let (r, c) = jobs[idx].shape;
+            let fits = space.clone().allocate(r, c, true).is_some();
+            if !fits {
+                unrunnable.push(jobs[idx].id);
             }
+            fits
+        });
+        if queue.is_empty() {
+            break;
         }
         try_start(
             &mut space,
             &mut queue,
             &jobs,
             &mut q,
-            &mut records,
+            &mut running,
+            &attempt_of,
             &mut frag,
             policy,
         );
     }
-    assert!(queue.is_empty(), "all jobs must eventually run");
 
-    let records: Vec<JobRecord> = records.into_iter().map(|r| r.expect("ran")).collect();
-    let makespan = records
-        .iter()
-        .map(|r| r.finished)
-        .max()
-        .unwrap_or(SimTime::ZERO)
-        - SimTime::ZERO;
+    let records: Vec<JobRecord> = records.into_iter().flatten().collect();
     let mut waits = Summary::new();
     let mut max_wait = Dur::ZERO;
     for r in &records {
@@ -165,18 +306,25 @@ pub fn run(rows: usize, cols: usize, mut jobs: Vec<Job>, policy: Policy) -> Sche
         max_wait = max_wait.max(r.wait());
     }
     let total_node_time = (rows * cols) as f64 * makespan.as_secs_f64();
+    let frac = |num: f64| {
+        if total_node_time > 0.0 {
+            num / total_node_time
+        } else {
+            0.0
+        }
+    };
     SchedReport {
         policy,
         jobs: records.len(),
         makespan,
-        utilization: if total_node_time > 0.0 {
-            busy_node_time / total_node_time
-        } else {
-            0.0
-        },
+        utilization: frac(busy_node_time),
         mean_wait: Dur::from_secs_f64(waits.mean()),
         max_wait,
         fragmentation_refusals: frag,
+        jobs_killed,
+        nodes_failed: space.failed_nodes(),
+        utilization_lost_to_faults: frac(lost_node_time),
+        unrunnable,
         records,
     }
 }
@@ -328,5 +476,91 @@ mod tests {
             assert!(r.utilization > 0.0 && r.utilization <= 1.0);
             assert_eq!(r.jobs, 80);
         }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_run() {
+        let jobs = consortium_workload(40, 14, 60.0, 3);
+        for policy in [Policy::Fcfs, Policy::Backfill] {
+            let a = run(16, 33, jobs.clone(), policy);
+            let b = run_with_faults(16, 33, jobs.clone(), policy, &FaultPlan::none());
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.utilization, b.utilization);
+            assert_eq!(a.mean_wait, b.mean_wait);
+            assert_eq!(a.fragmentation_refusals, b.fragmentation_refusals);
+            assert_eq!(b.jobs_killed, 0);
+            assert_eq!(b.utilization_lost_to_faults, 0.0);
+            assert!(b.unrunnable.is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_kills_and_requeues_the_job() {
+        use des::faults::FaultKind;
+        // One 4x4 job holding the whole machine; node 5 dies at t=40 s.
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime(40 * 1_000_000_000),
+            FaultKind::NodeCrash { node: 5 },
+        );
+        let r = run_with_faults(4, 4, vec![job(0, (2, 2), 100, 0)], Policy::Fcfs, &plan);
+        assert_eq!(r.jobs_killed, 1);
+        assert_eq!(r.nodes_failed, 1);
+        assert_eq!(r.jobs, 1, "job re-ran after the kill");
+        let rec = &r.records[0];
+        assert_eq!(rec.requeues(), 1);
+        assert_eq!(rec.attempts[0].killed, SimTime(40 * 1_000_000_000));
+        assert_eq!(
+            rec.finished,
+            SimTime(140 * 1_000_000_000),
+            "restarted at 40 s"
+        );
+        assert!(r.utilization_lost_to_faults > 0.0);
+        // 40 s of 4 nodes thrown away over 16 nodes × 140 s.
+        assert!((r.utilization_lost_to_faults - 160.0 / 2240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrunnable_jobs_are_reported_not_deadlocked() {
+        use des::faults::FaultKind;
+        // 2x2 machine; a node dies before the full-machine job can start,
+        // so its 2x2 frame never fits again — but the 1x1 behind it runs.
+        let mut plan = FaultPlan::none();
+        plan.push(SimTime(1_000_000_000), FaultKind::NodeCrash { node: 0 });
+        let jobs = vec![job(0, (2, 2), 10, 2), job(1, (1, 1), 5, 3)];
+        let r = run_with_faults(2, 2, jobs, Policy::Fcfs, &plan);
+        assert_eq!(r.unrunnable, vec![0]);
+        assert_eq!(r.jobs, 1);
+        assert_eq!(r.records[0].job.id, 1);
+    }
+
+    #[test]
+    fn faulty_run_replays_bit_identically_and_loses_utilization() {
+        use des::faults::MtbfModel;
+        let jobs = consortium_workload(60, 14, 30.0, 11);
+        let mk = || {
+            let plan = FaultPlan::seeded(
+                9,
+                &MtbfModel::node_crashes(Dur::from_secs(4_000)),
+                16 * 33,
+                0,
+                Dur::from_secs(8_000),
+            );
+            run_with_faults(16, 33, jobs.clone(), Policy::Backfill, &plan)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.jobs_killed, b.jobs_killed);
+        assert_eq!(a.unrunnable, b.unrunnable);
+        assert!(a.jobs_killed > 0, "MTBF plan produced kills");
+        let clean = run(16, 33, jobs.clone(), Policy::Backfill);
+        assert!(
+            a.utilization < clean.utilization,
+            "faults must cost utilization: {} vs {}",
+            a.utilization,
+            clean.utilization
+        );
     }
 }

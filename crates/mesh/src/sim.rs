@@ -23,12 +23,47 @@
 use crate::machine::{Kernel, MachineConfig};
 use crate::topology::LinkId;
 use bytes::Bytes;
+use des::faults::{FaultKind, FaultPlan};
 use des::time::{Dur, SimTime};
 use des::{Completion, EventQueue, Tasks};
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::fmt;
 use std::future::Future;
 use std::rc::Rc;
+
+/// Typed NX communication error. The pre-fault simulator turned every
+/// one of these conditions into a panic; with fault injection they are
+/// ordinary outcomes a node program recovers from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommError {
+    /// The peer has suffered a permanent fail-stop crash.
+    NodeFailed(usize),
+    /// Every route between the two nodes crosses a failed channel.
+    Unreachable { from: usize, to: usize },
+    /// A `recv_timeout` deadline expired with no matching message.
+    Timeout { after: Dur },
+    /// The message carried the wrong payload kind for the requested
+    /// conversion (a protocol error surfaced as data, not a crash).
+    PayloadType { got_bytes: u64 },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CommError::NodeFailed(n) => write!(f, "node {n} has failed"),
+            CommError::Unreachable { from, to } => {
+                write!(f, "no live route from node {from} to node {to}")
+            }
+            CommError::Timeout { after } => write!(f, "receive timed out after {after}"),
+            CommError::PayloadType { got_bytes } => {
+                write!(f, "expected F64 payload, got {got_bytes} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Message contents: real doubles, raw bytes, or a timing-only byte count.
 #[derive(Debug, Clone)]
@@ -52,19 +87,41 @@ impl Payload {
         }
     }
 
-    /// Borrow the doubles; panics on a non-F64 payload (a protocol error
-    /// in the node program, not a recoverable condition).
-    pub fn as_f64s(&self) -> &[f64] {
+    /// Borrow the doubles, or report the mismatched payload kind.
+    pub fn try_as_f64s(&self) -> Result<&[f64], CommError> {
         match self {
-            Payload::F64(v) => v,
-            other => panic!("expected F64 payload, got {} bytes", other.len_bytes()),
+            Payload::F64(v) => Ok(v),
+            other => Err(CommError::PayloadType {
+                got_bytes: other.len_bytes(),
+            }),
         }
     }
 
-    pub fn into_f64s(self) -> Rc<[f64]> {
+    /// Take the doubles, or report the mismatched payload kind.
+    pub fn try_into_f64s(self) -> Result<Rc<[f64]>, CommError> {
         match self {
-            Payload::F64(v) => v,
-            other => panic!("expected F64 payload, got {} bytes", other.len_bytes()),
+            Payload::F64(v) => Ok(v),
+            other => Err(CommError::PayloadType {
+                got_bytes: other.len_bytes(),
+            }),
+        }
+    }
+
+    /// Borrow the doubles; panics on a non-F64 payload. Use
+    /// [`Payload::try_as_f64s`] where the caller can recover.
+    pub fn as_f64s(&self) -> &[f64] {
+        match self.try_as_f64s() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Take the doubles; panics on a non-F64 payload. Use
+    /// [`Payload::try_into_f64s`] where the caller can recover.
+    pub fn into_f64s(self) -> Rc<[f64]> {
+        match self.try_into_f64s() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -80,14 +137,31 @@ pub struct Msg {
 }
 
 enum Event {
-    Deliver { dst: usize, msg: Msg },
+    Deliver {
+        dst: usize,
+        msg: Msg,
+    },
     Wake(Completion<()>),
+    /// A scripted or seeded hardware fault fires.
+    Fault(FaultKind),
+    /// A failed channel comes back up (scheduled by its `LinkDown`).
+    LinkUp {
+        link: LinkId,
+    },
+    /// A `recv_timeout` deadline expires.
+    RecvDeadline {
+        dst: usize,
+        token: u64,
+        after: Dur,
+    },
 }
 
 struct PendingRecv {
     src: Option<usize>,
     tag: Option<u64>,
-    done: Completion<Msg>,
+    done: Completion<Result<Msg, CommError>>,
+    /// Identifies this posted recv to its `RecvDeadline`, if any.
+    token: u64,
 }
 
 fn matches(want_src: Option<usize>, want_tag: Option<u64>, src: usize, tag: u64) -> bool {
@@ -106,6 +180,34 @@ pub struct Counters {
     pub link_busy: Dur,
     /// Messages delivered to a node with no matching recv posted yet.
     pub unexpected: u64,
+    pub faults: FaultStats,
+}
+
+/// What the injected faults did to one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Nodes permanently crashed.
+    pub node_crashes: u64,
+    /// Transient slowdown episodes applied.
+    pub slowdowns: u64,
+    /// Link outage events applied (flaps included).
+    pub link_faults: u64,
+    /// Messages dropped: destination dead, or every route down.
+    pub messages_lost: u64,
+    /// `recv_timeout` deadlines that expired.
+    pub timeouts: u64,
+    /// Retries performed by `send_with_retry`.
+    pub retries: u64,
+    /// Survivor tasks aborted at shutdown because faults left them
+    /// waiting on peers that can no longer answer.
+    pub orphaned_tasks: u64,
+}
+
+impl FaultStats {
+    /// Any hardware fault was actually applied this run.
+    pub fn any(&self) -> bool {
+        self.node_crashes + self.slowdowns + self.link_faults > 0
+    }
 }
 
 struct SimCore {
@@ -119,6 +221,16 @@ struct SimCore {
     blocked: Vec<Option<String>>,
     route_buf: Vec<LinkId>,
     counters: Counters,
+    /// Fail-stop state per node.
+    failed: Vec<bool>,
+    /// Active slowdown per node: `(factor, until)`.
+    slow: Vec<(f64, SimTime)>,
+    /// Channels currently out of service. `down_links` counts them so
+    /// the fault-free fast path is a single integer compare.
+    down: Vec<bool>,
+    down_until: Vec<SimTime>,
+    down_links: usize,
+    next_token: u64,
 }
 
 impl SimCore {
@@ -136,16 +248,46 @@ impl SimCore {
             blocked: vec![None; n],
             route_buf: Vec::new(),
             counters: Counters::default(),
+            failed: vec![false; n],
+            slow: vec![(1.0, SimTime::ZERO); n],
+            down: vec![false; links],
+            down_until: vec![SimTime::ZERO; links],
+            down_links: 0,
+            next_token: 0,
+        }
+    }
+
+    /// The active compute-slowdown factor for `node` at virtual `now`.
+    fn slow_factor(&self, node: usize) -> f64 {
+        let (factor, until) = self.slow[node];
+        if self.q.now() < until {
+            factor
+        } else {
+            1.0
         }
     }
 
     /// Compute the arrival time of a message injected now and reserve the
-    /// channels along its route.
-    fn inject(&mut self, src: usize, dst: usize, tag: u64, payload: Payload) {
+    /// channels along its route. A message addressed to a dead node, or
+    /// with every route crossing a failed channel, is dropped (fail-stop
+    /// hardware gives the sender no synchronous acknowledgement; the
+    /// returned error models the NX failure-detector oracle).
+    fn inject(
+        &mut self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+    ) -> Result<(), CommError> {
         let now = self.q.now();
         let bytes = payload.len_bytes();
         self.counters.messages += 1;
         self.counters.bytes += bytes;
+
+        if self.failed[dst] {
+            self.counters.faults.messages_lost += 1;
+            return Err(CommError::NodeFailed(dst));
+        }
 
         let arrival = if src == dst {
             // Local copy through memory; never touches the network.
@@ -153,7 +295,17 @@ impl SimCore {
         } else {
             let net = &self.cfg.net;
             let mut route = std::mem::take(&mut self.route_buf);
-            self.cfg.topology.route(src, dst, &mut route);
+            if self.down_links == 0 {
+                self.cfg.topology.route(src, dst, &mut route);
+            } else if !self
+                .cfg
+                .topology
+                .route_avoiding(src, dst, &self.down, &mut route)
+            {
+                self.route_buf = route;
+                self.counters.faults.messages_lost += 1;
+                return Err(CommError::Unreachable { from: src, to: dst });
+            }
             // The first byte reaches the wire only after the sender's
             // software send path and the router setup have run.
             let injected = now + net.send_overhead + net.wire_latency;
@@ -202,10 +354,16 @@ impl SimCore {
             arrived_at: arrival,
         };
         self.q.schedule(arrival, Event::Deliver { dst, msg });
+        Ok(())
     }
 
-    /// Hand an arrived message to a posted recv or queue it.
+    /// Hand an arrived message to a posted recv or queue it. A message
+    /// reaching a node that crashed while it was in flight is dropped.
     fn deliver(&mut self, dst: usize, msg: Msg) {
+        if self.failed[dst] {
+            self.counters.faults.messages_lost += 1;
+            return;
+        }
         let pend = &mut self.pending[dst];
         if let Some(pos) = pend
             .iter()
@@ -213,7 +371,7 @@ impl SimCore {
         {
             let p = pend.remove(pos).unwrap();
             self.blocked[dst] = None;
-            p.done.fulfil(msg);
+            p.done.fulfil(Ok(msg));
         } else {
             self.counters.unexpected += 1;
             self.mailbox[dst].push_back(msg);
@@ -224,6 +382,69 @@ impl SimCore {
         let c = Completion::new();
         self.q.schedule_in(delay, Event::Wake(c.clone()));
         c
+    }
+
+    /// Apply one fault event. Returns the rank whose program must be
+    /// aborted, for the executor-side half of a node crash.
+    fn apply_fault(&mut self, kind: FaultKind) -> Option<usize> {
+        match kind {
+            FaultKind::NodeCrash { node } => {
+                if self.failed[node] {
+                    return None;
+                }
+                self.failed[node] = true;
+                self.counters.faults.node_crashes += 1;
+                // The node's queued and matched-but-unconsumed messages
+                // die with it.
+                self.mailbox[node].clear();
+                self.pending[node].clear();
+                self.blocked[node] = None;
+                Some(node)
+            }
+            FaultKind::NodeSlow {
+                node,
+                factor,
+                until,
+            } => {
+                if !self.failed[node] {
+                    self.slow[node] = (factor, until);
+                    self.counters.faults.slowdowns += 1;
+                }
+                None
+            }
+            FaultKind::LinkDown { link, until } => {
+                self.counters.faults.link_faults += 1;
+                // Overlapping outages: keep the latest repair time; the
+                // LinkUp for the earlier outage then arrives early and is
+                // ignored by the `down_until` check.
+                self.down_until[link] = self.down_until[link].max(until);
+                if !self.down[link] {
+                    self.down[link] = true;
+                    self.down_links += 1;
+                }
+                self.q.schedule(until, Event::LinkUp { link });
+                None
+            }
+        }
+    }
+
+    fn link_up(&mut self, link: LinkId) {
+        if self.down[link] && self.q.now() >= self.down_until[link] {
+            self.down[link] = false;
+            self.down_links -= 1;
+        }
+    }
+
+    /// Expire a `recv_timeout` deadline: if the posted recv is still
+    /// outstanding, withdraw it and fail its waiter.
+    fn deadline(&mut self, dst: usize, token: u64, after: Dur) {
+        let pend = &mut self.pending[dst];
+        if let Some(pos) = pend.iter().position(|p| p.token == token) {
+            let p = pend.remove(pos).unwrap();
+            self.blocked[dst] = None;
+            self.counters.faults.timeouts += 1;
+            p.done.fulfil(Err(CommError::Timeout { after }));
+        }
     }
 }
 
@@ -269,17 +490,65 @@ impl Node {
     }
 
     /// Blocking tagged send (NX `csend` semantics: returns once the local
-    /// send path is done; the transfer proceeds in the background).
+    /// send path is done; the transfer proceeds in the background). Like
+    /// the hardware, this gives no failure feedback: a message to a dead
+    /// node or across a partition is silently dropped — use
+    /// [`Node::try_send`] to observe delivery errors.
     pub async fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        let _ = self.try_send(dst, tag, payload).await;
+    }
+
+    /// Tagged send with delivery-error reporting: `Err` when the
+    /// destination has crashed or no live route exists. The local send
+    /// overhead is charged either way (the kernel ran its send path
+    /// before the failure detector answered).
+    pub async fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
         assert!(dst < self.nranks, "send to rank {dst} of {}", self.nranks);
-        let (c, overhead) = {
+        let (c, sent) = {
             let mut core = self.core.borrow_mut();
-            core.inject(self.rank, dst, tag, payload);
+            let sent = core.inject(self.rank, dst, tag, payload);
             let ov = core.cfg.net.send_overhead;
-            (core.timer(ov), ov)
+            (core.timer(ov), sent)
         };
-        let _ = overhead;
         c.wait().await;
+        sent
+    }
+
+    /// Retrying send with exponential backoff in virtual time. Transient
+    /// errors (partition — a detour may appear when a link is repaired)
+    /// are retried; a crashed destination is permanent and returned
+    /// immediately.
+    pub async fn send_with_retry(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+        policy: RetryPolicy,
+    ) -> Result<(), CommError> {
+        let mut backoff = policy.backoff;
+        let mut last = CommError::Unreachable {
+            from: self.rank,
+            to: dst,
+        };
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.core.borrow_mut().counters.faults.retries += 1;
+                self.delay(backoff).await;
+                backoff = backoff * 2;
+            }
+            match self.try_send(dst, tag, payload.clone()).await {
+                Ok(()) => return Ok(()),
+                Err(e @ CommError::NodeFailed(_)) => return Err(e),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Has `rank` suffered a permanent crash? (The NX failure-detector
+    /// oracle: fail-stop faults are detected immediately and reliably.)
+    pub fn peer_failed(&self, rank: usize) -> bool {
+        self.core.borrow().failed[rank]
     }
 
     /// Convenience: send a slice of doubles.
@@ -295,25 +564,63 @@ impl Node {
     /// Blocking tagged receive. `src`/`tag` of `None` are wildcards.
     /// Matches the earliest-arrived queued message first (NX `crecv`).
     pub async fn recv(&self, src: Option<usize>, tag: Option<u64>) -> Msg {
+        match self.recv_inner(src, tag, None).await {
+            Ok(msg) => msg,
+            Err(e) => unreachable!("recv without deadline cannot fail: {e}"),
+        }
+    }
+
+    /// Blocking tagged receive with a deadline: `Err(Timeout)` if no
+    /// matching message lands within `timeout` of virtual time. This is
+    /// the primitive fault-tolerant node programs use to detect dead
+    /// peers instead of deadlocking.
+    pub async fn recv_timeout(
+        &self,
+        src: Option<usize>,
+        tag: Option<u64>,
+        timeout: Dur,
+    ) -> Result<Msg, CommError> {
+        self.recv_inner(src, tag, Some(timeout)).await
+    }
+
+    async fn recv_inner(
+        &self,
+        src: Option<usize>,
+        tag: Option<u64>,
+        timeout: Option<Dur>,
+    ) -> Result<Msg, CommError> {
         let waited = {
             let mut core = self.core.borrow_mut();
             let mbox = &mut core.mailbox[self.rank];
             if let Some(pos) = mbox.iter().position(|m| matches(src, tag, m.src, m.tag)) {
                 Ok(mbox.remove(pos).unwrap())
             } else {
-                let done: Completion<Msg> = Completion::new();
+                let token = core.next_token;
+                core.next_token += 1;
+                let done: Completion<Result<Msg, CommError>> = Completion::new();
                 core.pending[self.rank].push_back(PendingRecv {
                     src,
                     tag,
                     done: done.clone(),
+                    token,
                 });
+                if let Some(after) = timeout {
+                    core.q.schedule_in(
+                        after,
+                        Event::RecvDeadline {
+                            dst: self.rank,
+                            token,
+                            after,
+                        },
+                    );
+                }
                 core.blocked[self.rank] = Some(format!("recv(src={src:?}, tag={tag:?})"));
                 Err(done)
             }
         };
         let (msg, buffered) = match waited {
             Ok(m) => (m, true),
-            Err(done) => (done.wait().await, false),
+            Err(done) => (done.wait().await?, false),
         };
         // Receiver software overhead; an unexpected (buffered) message
         // also pays the system-buffer copy — the reason NX programmers
@@ -327,12 +634,26 @@ impl Node {
             core.timer(ov)
         };
         c.wait().await;
-        msg
+        Ok(msg)
     }
 
     /// Receive and unwrap a doubles payload.
     pub async fn recv_f64s(&self, src: Option<usize>, tag: Option<u64>) -> Rc<[f64]> {
         self.recv(src, tag).await.payload.into_f64s()
+    }
+
+    /// Receive a doubles payload with a deadline; surfaces both timeouts
+    /// and payload-kind mismatches as typed errors.
+    pub async fn recv_f64s_timeout(
+        &self,
+        src: Option<usize>,
+        tag: Option<u64>,
+        timeout: Dur,
+    ) -> Result<Rc<[f64]>, CommError> {
+        self.recv_timeout(src, tag, timeout)
+            .await?
+            .payload
+            .try_into_f64s()
     }
 
     /// Post a non-blocking receive (NX `irecv`): the match is armed
@@ -342,16 +663,19 @@ impl Node {
     pub fn irecv(&self, src: Option<usize>, tag: Option<u64>) -> RecvRequest {
         let mut core = self.core.borrow_mut();
         let mbox = &mut core.mailbox[self.rank];
-        let done: Completion<Msg> = Completion::new();
+        let done: Completion<Result<Msg, CommError>> = Completion::new();
         let mut buffered = false;
         if let Some(pos) = mbox.iter().position(|m| matches(src, tag, m.src, m.tag)) {
-            done.fulfil(mbox.remove(pos).unwrap());
+            done.fulfil(Ok(mbox.remove(pos).unwrap()));
             buffered = true;
         } else {
+            let token = core.next_token;
+            core.next_token += 1;
             core.pending[self.rank].push_back(PendingRecv {
                 src,
                 tag,
                 done: done.clone(),
+                token,
             });
         }
         RecvRequest {
@@ -370,10 +694,16 @@ impl Node {
     }
 
     /// Advance virtual time by the cost of `flops` operations of `kernel`.
+    /// An active slowdown fault on the node stretches the cost; the
+    /// factor-1.0 path is taken untouched so fault-free timing is exact.
     pub async fn compute(&self, kernel: Kernel, flops: f64) {
         let c = {
             let mut core = self.core.borrow_mut();
-            let d = core.cfg.node.compute_time(kernel, flops);
+            let mut d = core.cfg.node.compute_time(kernel, flops);
+            let factor = core.slow_factor(self.rank);
+            if factor != 1.0 {
+                d = d.mul_f64(factor);
+            }
             core.counters.flops += flops;
             core.counters.compute_time += d;
             core.timer(d)
@@ -388,11 +718,29 @@ impl Node {
     }
 }
 
+/// Backoff schedule for [`Node::send_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per further retry.
+    pub backoff: Dur,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: Dur::from_millis(1),
+        }
+    }
+}
+
 /// Handle to a posted non-blocking receive. Await [`RecvRequest::wait`]
 /// to take the message; [`RecvRequest::ready`] polls without blocking.
 pub struct RecvRequest {
     node: Node,
-    done: Completion<Msg>,
+    done: Completion<Result<Msg, CommError>>,
     /// The message had already arrived unexpected and was system-buffered
     /// when this request was posted (extra copy charged at wait).
     buffered: bool,
@@ -407,7 +755,11 @@ impl RecvRequest {
     /// Block until the message is in, then charge the receive overhead
     /// (plus the buffer copy when the message pre-dated the post).
     pub async fn wait(self) -> Msg {
-        let msg = self.done.wait().await;
+        let msg = match self.done.wait().await {
+            Ok(msg) => msg,
+            // irecv posts no deadline, so only a Deliver fulfils it.
+            Err(e) => unreachable!("irecv cannot fail: {e}"),
+        };
         let c = {
             let mut core = self.node.core.borrow_mut();
             let mut ov = core.cfg.net.recv_overhead;
@@ -437,6 +789,8 @@ pub struct RunReport {
     pub link_utilization: f64,
     /// Messages that arrived before a matching recv was posted.
     pub unexpected_messages: u64,
+    /// What injected faults did to this run (all zero when fault-free).
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -474,12 +828,66 @@ impl Machine {
         F: Fn(Node) -> Fut,
         Fut: Future<Output = T> + 'static,
     {
+        let (results, report) = self.run_with_faults(&FaultPlan::none(), program);
+        let results = results
+            .into_iter()
+            .map(|o| o.expect("node completed"))
+            .collect();
+        (results, report)
+    }
+
+    /// Run one program per node under an injected [`FaultPlan`].
+    ///
+    /// A crashed node's program is aborted at the crash instant and its
+    /// result slot stays `None`. With a non-empty plan, survivors left
+    /// parked forever by a fault (waiting on a dead peer without a
+    /// timeout) are aborted at shutdown and counted as orphaned rather
+    /// than panicking; a fault-free run still panics on deadlock, which
+    /// is a program bug. An empty plan schedules no events and is
+    /// bit-identical to [`Machine::run`].
+    pub fn run_with_faults<T, F, Fut>(
+        &self,
+        plan: &FaultPlan,
+        program: F,
+    ) -> (Vec<Option<T>>, RunReport)
+    where
+        T: 'static,
+        F: Fn(Node) -> Fut,
+        Fut: Future<Output = T> + 'static,
+    {
         let n = self.cfg.nodes();
+        let nlinks = self.cfg.topology.links();
         let core = Rc::new(RefCell::new(SimCore::new(Rc::clone(&self.cfg))));
         let mut tasks = Tasks::new();
         let results: Rc<RefCell<Vec<Option<T>>>> =
             Rc::new(RefCell::new((0..n).map(|_| None).collect()));
 
+        // Faults at t=0 take effect before any program instruction runs
+        // (the machine was already broken at boot); later ones become
+        // calendar events racing the programs.
+        let mut boot_crashes = Vec::new();
+        {
+            let mut core = core.borrow_mut();
+            for e in plan.events() {
+                match e.kind {
+                    FaultKind::NodeCrash { node } | FaultKind::NodeSlow { node, .. } => {
+                        assert!(node < n, "fault plan targets node {node} of {n}");
+                    }
+                    FaultKind::LinkDown { link, .. } => {
+                        assert!(link < nlinks, "fault plan targets link {link} of {nlinks}");
+                    }
+                }
+                if e.at == SimTime::ZERO {
+                    if let Some(node) = core.apply_fault(e.kind) {
+                        boot_crashes.push(node);
+                    }
+                } else {
+                    core.q.schedule(e.at, Event::Fault(e.kind));
+                }
+            }
+        }
+
+        let mut task_of_rank = Vec::with_capacity(n);
         for rank in 0..n {
             let node = Node {
                 core: Rc::clone(&core),
@@ -488,12 +896,15 @@ impl Machine {
             };
             let fut = program(node);
             let sink = Rc::clone(&results);
-            tasks.spawn(async move {
+            task_of_rank.push(tasks.spawn(async move {
                 let out = fut.await;
                 sink.borrow_mut()[rank] = Some(out);
-            });
+            }));
         }
 
+        for node in boot_crashes {
+            tasks.abort(task_of_rank[node]);
+        }
         tasks.run_ready();
         while !tasks.all_done() {
             let ev = core.borrow_mut().q.pop();
@@ -502,8 +913,29 @@ impl Machine {
                     core.borrow_mut().deliver(dst, msg);
                 }
                 Some((_, Event::Wake(c))) => c.fulfil(()),
+                Some((_, Event::Fault(kind))) => {
+                    let crashed = core.borrow_mut().apply_fault(kind);
+                    if let Some(node) = crashed {
+                        tasks.abort(task_of_rank[node]);
+                    }
+                }
+                Some((_, Event::LinkUp { link })) => core.borrow_mut().link_up(link),
+                Some((_, Event::RecvDeadline { dst, token, after })) => {
+                    core.borrow_mut().deadline(dst, token, after);
+                }
                 None => {
-                    let core = core.borrow();
+                    let mut core = core.borrow_mut();
+                    if core.counters.faults.any() {
+                        // Graceful degradation: survivors blocked forever
+                        // on dead peers are casualties of the fault, not
+                        // a program bug. Abort them and finish the run.
+                        for &task in task_of_rank.iter().take(n) {
+                            if tasks.abort(task) {
+                                core.counters.faults.orphaned_tasks += 1;
+                            }
+                        }
+                        continue;
+                    }
                     let stuck: Vec<String> = core
                         .blocked
                         .iter()
@@ -523,7 +955,6 @@ impl Machine {
 
         let core = core.borrow();
         let elapsed = core.q.now() - SimTime::ZERO;
-        let nlinks = core.cfg.topology.links().max(1);
         let denom = elapsed.as_secs_f64().max(1e-30);
         let report = RunReport {
             machine: core.cfg.name.clone(),
@@ -534,15 +965,14 @@ impl Machine {
             flops: core.counters.flops,
             events: core.q.events_processed(),
             compute_fraction: core.counters.compute_time.as_secs_f64() / (n as f64 * denom),
-            link_utilization: core.counters.link_busy.as_secs_f64() / (nlinks as f64 * denom),
+            link_utilization: core.counters.link_busy.as_secs_f64()
+                / (nlinks.max(1) as f64 * denom),
             unexpected_messages: core.counters.unexpected,
+            faults: core.counters.faults,
         };
         let results = Rc::try_unwrap(results)
             .unwrap_or_else(|_| unreachable!("all tasks done"))
-            .into_inner()
-            .into_iter()
-            .map(|o| o.expect("node completed"))
-            .collect();
+            .into_inner();
         (results, report)
     }
 }
@@ -918,5 +1348,299 @@ mod tests {
         let m = Machine::new(presets::delta(2, 4));
         let (out, _) = m.run(|node| async move { node.rank() * 10 });
         assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_plain_run() {
+        let program = |node: Node| async move {
+            let n = node.nranks();
+            let next = (node.rank() + 1) % n;
+            let prev = (node.rank() + n - 1) % n;
+            node.send_virtual(next, 1, 4096).await;
+            node.recv(Some(prev), Some(1)).await;
+            node.compute(Kernel::Dgemm, 1e7).await;
+            node.rank()
+        };
+        let m = Machine::new(presets::delta(2, 3));
+        let (out_a, a) = m.run(program);
+        let (out_b, b) = m.run_with_faults(&FaultPlan::none(), program);
+        assert_eq!(
+            out_a,
+            out_b.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+        );
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(b.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn node_crash_aborts_its_program() {
+        let m = tiny();
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::from_secs_f64(0.01),
+            FaultKind::NodeCrash { node: 3 },
+        );
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            node.delay(Dur::from_millis(100)).await;
+            node.rank()
+        });
+        assert_eq!(out, vec![Some(0), Some(1), Some(2), None]);
+        assert_eq!(report.faults.node_crashes, 1);
+    }
+
+    #[test]
+    fn recv_timeout_detects_dead_peer() {
+        let m = tiny();
+        let mut plan = FaultPlan::none();
+        plan.push(SimTime::ZERO, FaultKind::NodeCrash { node: 0 });
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            match node.rank() {
+                1 => {
+                    match node
+                        .recv_timeout(Some(0), Some(1), Dur::from_millis(5))
+                        .await
+                    {
+                        Err(CommError::Timeout { after }) => {
+                            assert_eq!(after, Dur::from_millis(5));
+                            assert!(node.peer_failed(0));
+                            1
+                        }
+                        other => panic!("expected timeout, got {other:?}"),
+                    }
+                }
+                _ => 0,
+            }
+        });
+        assert_eq!(out[1], Some(1));
+        assert_eq!(report.faults.timeouts, 1);
+    }
+
+    #[test]
+    fn recv_timeout_still_delivers_in_time() {
+        let m = tiny();
+        let (out, report) = m.run(|node| async move {
+            match node.rank() {
+                0 => {
+                    node.send_f64s(1, 7, &[3.5]).await;
+                    0.0
+                }
+                1 => node
+                    .recv_f64s_timeout(Some(0), Some(7), Dur::from_secs(1))
+                    .await
+                    .expect("arrives well before the deadline")[0],
+                _ => 0.0,
+            }
+        });
+        assert_eq!(out[1], 3.5);
+        assert_eq!(report.faults.timeouts, 0);
+    }
+
+    #[test]
+    fn try_send_to_crashed_node_errors() {
+        let m = tiny();
+        let mut plan = FaultPlan::none();
+        plan.push(SimTime::ZERO, FaultKind::NodeCrash { node: 1 });
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            if node.rank() == 0 {
+                node.delay(Dur::from_millis(1)).await;
+                node.try_send(1, 1, Payload::Virtual(64)).await
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out[0], Some(Err(CommError::NodeFailed(1))));
+        assert_eq!(report.faults.messages_lost, 1);
+    }
+
+    #[test]
+    fn message_routes_around_downed_link() {
+        // 1x3 line: kill the east channel 0->1 for the whole run. With no
+        // detour on a line this partitions 0 from the rest.
+        let m = Machine::new(presets::delta(1, 3));
+        let topo = m.config().topology.clone();
+        let mut r = Vec::new();
+        topo.route(0, 1, &mut r);
+        let dead = r[0];
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::ZERO,
+            FaultKind::LinkDown {
+                link: dead,
+                until: SimTime::MAX,
+            },
+        );
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            if node.rank() == 0 {
+                node.delay(Dur::from_millis(1)).await;
+                node.try_send(2, 1, Payload::Virtual(64)).await
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(
+            out[0],
+            Some(Err(CommError::Unreachable { from: 0, to: 2 })),
+            "a 1-D line has no detour"
+        );
+        assert_eq!(report.faults.link_faults, 1);
+
+        // Same fault on a 2x3 mesh: the detour through row 1 delivers.
+        let m = Machine::new(presets::delta(2, 3));
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            match node.rank() {
+                0 => {
+                    node.delay(Dur::from_millis(1)).await;
+                    node.try_send(2, 1, Payload::Virtual(64)).await.is_ok()
+                }
+                2 => {
+                    node.recv(Some(0), Some(1)).await;
+                    true
+                }
+                _ => true,
+            }
+        });
+        assert_eq!(out[0], Some(true));
+        assert_eq!(out[2], Some(true));
+        assert_eq!(report.faults.messages_lost, 0);
+    }
+
+    #[test]
+    fn send_with_retry_survives_a_flap() {
+        // Link 0->1 flaps down for 2 ms on a 1x2 line; the retrying
+        // sender backs off past the repair and gets through.
+        let m = Machine::new(presets::delta(1, 2));
+        let mut r = Vec::new();
+        m.config().topology.route(0, 1, &mut r);
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::ZERO,
+            FaultKind::LinkDown {
+                link: r[0],
+                until: SimTime::from_secs_f64(0.002),
+            },
+        );
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            match node.rank() {
+                0 => node
+                    .send_with_retry(1, 1, Payload::Virtual(64), RetryPolicy::default())
+                    .await
+                    .is_ok(),
+                1 => {
+                    node.recv(Some(0), Some(1)).await;
+                    true
+                }
+                _ => true,
+            }
+        });
+        assert_eq!(out, vec![Some(true), Some(true)]);
+        assert!(report.faults.retries >= 1);
+        assert!(
+            report.faults.messages_lost >= 1,
+            "first attempt was dropped"
+        );
+    }
+
+    #[test]
+    fn slowdown_stretches_compute() {
+        let flops = 1.0e9;
+        let m = tiny();
+        let base = m.config().node.compute_time(Kernel::Dgemm, flops);
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::ZERO,
+            FaultKind::NodeSlow {
+                node: 0,
+                factor: 3.0,
+                until: SimTime::MAX,
+            },
+        );
+        let (_, report) = m.run_with_faults(&plan, move |node| async move {
+            if node.rank() == 0 {
+                node.compute(Kernel::Dgemm, flops).await;
+            }
+        });
+        assert_eq!(report.elapsed, base.mul_f64(3.0));
+        assert_eq!(report.faults.slowdowns, 1);
+    }
+
+    #[test]
+    fn survivors_blocked_on_dead_peer_are_orphaned_not_deadlocked() {
+        let m = tiny();
+        let mut plan = FaultPlan::none();
+        plan.push(SimTime::ZERO, FaultKind::NodeCrash { node: 0 });
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            if node.rank() == 1 {
+                // Blocking recv from the dead node, no timeout: orphaned.
+                node.recv(Some(0), None).await;
+            }
+            node.rank()
+        });
+        assert_eq!(out[0], None, "crashed");
+        assert_eq!(out[1], None, "orphaned");
+        assert_eq!(out[2], Some(2));
+        assert_eq!(report.faults.orphaned_tasks, 1);
+    }
+
+    #[test]
+    fn fault_run_replays_bit_identically() {
+        let model = des::MtbfModel {
+            node_mtbf: Some(Dur::from_secs(2)),
+            slow_mtbf: Some(Dur::from_secs(3)),
+            slow_factor: 2.0,
+            slow_duration: Dur::from_millis(500),
+            link_mtbf: Some(Dur::from_secs(4)),
+            link_repair: Dur::from_millis(200),
+            flap_mtbf: None,
+            flap_duration: Dur::ZERO,
+        };
+        let run = |seed: u64| {
+            let m = Machine::new(presets::delta(2, 3));
+            let plan = des::FaultPlan::seeded(
+                seed,
+                &model,
+                m.config().nodes(),
+                m.config().topology.links(),
+                Dur::from_secs(10),
+            );
+            let (out, r) = m.run_with_faults(&plan, |node| async move {
+                let n = node.nranks();
+                for round in 0..50u64 {
+                    let next = (node.rank() + 1) % n;
+                    node.send(next, round, Payload::Virtual(4096)).await;
+                    let got = node
+                        .recv_timeout(None, Some(round), Dur::from_millis(50))
+                        .await;
+                    if got.is_err() {
+                        break;
+                    }
+                    node.compute(Kernel::Stencil, 1e6).await;
+                }
+                node.now()
+            });
+            (out, r.elapsed, r.events, r.faults)
+        };
+        assert_eq!(run(1234), run(1234), "same seed, same trace");
+        let (_, _, _, faults) = run(1234);
+        assert!(faults.any(), "the plan actually injected something");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64 payload, got 64 bytes")]
+    fn payload_type_panic_message_preserved() {
+        let _ = Payload::Virtual(64).into_f64s();
+    }
+
+    #[test]
+    fn payload_type_error_is_typed() {
+        assert_eq!(
+            Payload::Virtual(64).try_into_f64s(),
+            Err(CommError::PayloadType { got_bytes: 64 })
+        );
+        assert_eq!(
+            Payload::from_f64s(&[1.0]).try_as_f64s().unwrap(),
+            &[1.0][..]
+        );
     }
 }

@@ -136,6 +136,97 @@ impl Topology {
             _ => None,
         }
     }
+
+    /// The outgoing channels of `node` as `(neighbour, link)` pairs, in a
+    /// fixed order (mesh: east, west, south, north; hypercube: bit order;
+    /// full: node order). The fixed order is what keeps detour routing
+    /// deterministic.
+    pub fn neighbours(&self, node: usize, out: &mut Vec<(usize, LinkId)>) {
+        out.clear();
+        match *self {
+            Topology::Mesh2D { rows, cols } => {
+                let (r, c) = (node / cols, node % cols);
+                if c + 1 < cols {
+                    out.push((node + 1, mesh_link(rows, cols, node, node + 1)));
+                }
+                if c > 0 {
+                    out.push((node - 1, mesh_link(rows, cols, node, node - 1)));
+                }
+                if r + 1 < rows {
+                    out.push((node + cols, mesh_link(rows, cols, node, node + cols)));
+                }
+                if r > 0 {
+                    out.push((node - cols, mesh_link(rows, cols, node, node - cols)));
+                }
+            }
+            Topology::Hypercube { dim } => {
+                for bit in 0..dim as usize {
+                    out.push((node ^ (1 << bit), node * dim as usize + bit));
+                }
+            }
+            Topology::Full { n } => {
+                for to in 0..n {
+                    if to != node {
+                        let col = if to > node { to - 1 } else { to };
+                        out.push((to, node * (n - 1) + col));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault-aware route: the deterministic route (XY / e-cube / direct)
+    /// when it crosses no failed channel, otherwise the shortest detour
+    /// around the failed channels (deterministic BFS, fixed neighbour
+    /// order). Returns `false` — with `out` emptied — when every path
+    /// from `from` to `to` crosses a failed channel (partition).
+    ///
+    /// `down[l]` marks directed channel `l` as failed; an empty slice
+    /// means no faults and takes the exact dimension-order fast path.
+    pub fn route_avoiding(
+        &self,
+        from: usize,
+        to: usize,
+        down: &[bool],
+        out: &mut Vec<LinkId>,
+    ) -> bool {
+        let is_down = |l: LinkId| down.get(l).copied().unwrap_or(false);
+        self.route(from, to, out);
+        if out.iter().all(|&l| !is_down(l)) {
+            return true;
+        }
+        // BFS over live channels; parent links reconstruct the path.
+        let n = self.nodes();
+        let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut nbrs = Vec::new();
+        parent[from] = Some((from, 0));
+        queue.push_back(from);
+        'bfs: while let Some(cur) = queue.pop_front() {
+            self.neighbours(cur, &mut nbrs);
+            for &(nb, link) in &nbrs {
+                if parent[nb].is_none() && !is_down(link) {
+                    parent[nb] = Some((cur, link));
+                    if nb == to {
+                        break 'bfs;
+                    }
+                    queue.push_back(nb);
+                }
+            }
+        }
+        out.clear();
+        if parent[to].is_none() {
+            return false;
+        }
+        let mut cur = to;
+        while cur != from {
+            let (prev, link) = parent[cur].expect("path reconstruction");
+            out.push(link);
+            cur = prev;
+        }
+        out.reverse();
+        true
+    }
 }
 
 /// Dense id for a directed mesh channel between *adjacent* nodes.
@@ -298,6 +389,73 @@ mod tests {
         let hc_small = Topology::Hypercube { dim: 4 }.bisection_links();
         let hc_big = Topology::Hypercube { dim: 8 }.bisection_links();
         assert_eq!(hc_big, 16 * hc_small); // 16x nodes -> 16x bisection
+    }
+
+    #[test]
+    fn detour_routes_around_a_down_link() {
+        let topo = Topology::Mesh2D { rows: 4, cols: 4 };
+        // Kill the first east hop of the XY route 0 -> 3.
+        let mut xy = Vec::new();
+        topo.route(0, 3, &mut xy);
+        let mut down = vec![false; topo.links()];
+        down[xy[0]] = true;
+        let mut detour = Vec::new();
+        assert!(topo.route_avoiding(0, 3, &down, &mut detour));
+        assert!(!detour.contains(&xy[0]), "detour avoids the dead channel");
+        assert_eq!(detour.len(), 5, "shortest detour: 1S 3E 1N");
+        // A second call is bit-identical (deterministic BFS).
+        let mut again = Vec::new();
+        assert!(topo.route_avoiding(0, 3, &down, &mut again));
+        assert_eq!(detour, again);
+    }
+
+    #[test]
+    fn route_avoiding_no_faults_is_xy() {
+        for topo in all_topos() {
+            let n = topo.nodes();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for from in (0..n).step_by(3) {
+                for to in (0..n).step_by(5) {
+                    topo.route(from, to, &mut a);
+                    assert!(topo.route_avoiding(from, to, &[], &mut b));
+                    assert_eq!(a, b, "{topo:?} {from}->{to}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_reported() {
+        // 1x4 path mesh: cutting the middle east+west channels separates
+        // {0,1} from {2,3}.
+        let topo = Topology::Mesh2D { rows: 1, cols: 4 };
+        let mut down = vec![false; topo.links()];
+        let mut r = Vec::new();
+        topo.route(1, 2, &mut r);
+        down[r[0]] = true;
+        topo.route(2, 1, &mut r);
+        down[r[0]] = true;
+        let mut out = vec![7];
+        assert!(!topo.route_avoiding(0, 3, &down, &mut out));
+        assert!(out.is_empty());
+        assert!(topo.route_avoiding(0, 1, &down, &mut out));
+    }
+
+    #[test]
+    fn neighbours_cover_all_links() {
+        for topo in all_topos() {
+            let mut seen = vec![false; topo.links()];
+            let mut nbrs = Vec::new();
+            for node in 0..topo.nodes() {
+                topo.neighbours(node, &mut nbrs);
+                for &(nb, link) in &nbrs {
+                    assert!(nb < topo.nodes());
+                    assert!(!seen[link], "{topo:?}: duplicate link {link}");
+                    seen[link] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{topo:?}: all channels listed");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::graph::{Net, Route};
 use crate::link::SiteId;
 use des::time::{Dur, SimTime};
+use std::fmt;
 
 /// One requested transfer.
 #[derive(Debug, Clone)]
@@ -61,6 +62,75 @@ impl FlowRecord {
     }
 }
 
+/// A scheduled outage of one (undirected) link: down at `down_at`,
+/// repaired at `up_at`. An `up_at` of [`SimTime::MAX`] means the link
+/// is never repaired.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFault {
+    pub link: usize,
+    pub down_at: SimTime,
+    pub up_at: SimTime,
+}
+
+/// A transfer batch rejected before simulation started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// No path exists between the endpoints even on the healthy network.
+    Unroutable {
+        index: usize,
+        src: String,
+        dst: String,
+    },
+    /// Source and destination are the same site.
+    SelfTransfer { index: usize, site: String },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Unroutable { index, src, dst } => write!(
+                f,
+                "transfer #{index} is unroutable: no path between {src} and {dst}"
+            ),
+            FlowError::SelfTransfer { index, site } => {
+                write!(f, "transfer #{index} is a self-transfer at {site}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Outcome of one transfer under a fault schedule.
+#[derive(Debug, Clone)]
+pub enum FlowOutcome {
+    Completed(FlowRecord),
+    /// The flow's endpoints were partitioned and no later repair
+    /// reconnected them before the run ended.
+    Stalled {
+        spec: TransferSpec,
+        /// When the flow first started moving bytes, if it ever did.
+        started: Option<SimTime>,
+        /// Bytes delivered before the partition.
+        delivered: f64,
+        /// When the flow (last) lost its route.
+        stalled_at: SimTime,
+    },
+}
+
+impl FlowOutcome {
+    pub fn completed(&self) -> Option<&FlowRecord> {
+        match self {
+            FlowOutcome::Completed(r) => Some(r),
+            FlowOutcome::Stalled { .. } => None,
+        }
+    }
+
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, FlowOutcome::Stalled { .. })
+    }
+}
+
 struct Active {
     id: usize,
     route: Route,
@@ -68,6 +138,20 @@ struct Active {
     cap: f64,
     rate: f64,
     started: SimTime,
+}
+
+struct Parked {
+    id: usize,
+    remaining: f64,
+    started: Option<SimTime>,
+    since: SimTime,
+}
+
+/// One link state transition derived from a [`LinkFault`].
+struct Transition {
+    at: SimTime,
+    link: usize,
+    down: bool,
 }
 
 /// Max-min fair rates via progressive filling with per-flow caps.
@@ -205,14 +289,96 @@ impl<'a> FlowSim<'a> {
         Some(route.latency + Dur::from_secs_f64(spec.bytes as f64 / rate))
     }
 
+    /// Validate a batch against the healthy network: every spec must
+    /// join two distinct, connected sites. Returns the first offender
+    /// with both site names spelled out.
+    pub fn check(&self, specs: &[TransferSpec]) -> Result<(), FlowError> {
+        for (index, s) in specs.iter().enumerate() {
+            if s.src == s.dst {
+                return Err(FlowError::SelfTransfer {
+                    index,
+                    site: self.net.name(s.src).to_string(),
+                });
+            }
+            if self.net.route(s.src, s.dst).is_none() {
+                return Err(FlowError::Unroutable {
+                    index,
+                    src: self.net.name(s.src).to_string(),
+                    dst: self.net.name(s.dst).to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Run the transfer batch to completion; records are returned in the
-    /// order the specs were given.
+    /// order the specs were given. Panics (with the [`FlowError`]
+    /// message) if any spec is unroutable — use [`FlowSim::try_run`] for
+    /// a recoverable error.
     pub fn run(&self, specs: Vec<TransferSpec>) -> Vec<FlowRecord> {
         self.run_with_stats(specs).0
     }
 
+    /// Like [`FlowSim::run`], returning `Err` instead of panicking when
+    /// a spec names a disconnected or degenerate site pair.
+    pub fn try_run(&self, specs: Vec<TransferSpec>) -> Result<Vec<FlowRecord>, FlowError> {
+        self.check(&specs)?;
+        Ok(self.run_with_stats(specs).0)
+    }
+
     /// Like [`FlowSim::run`], also returning per-link carriage stats.
-    pub fn run_with_stats(&self, mut specs: Vec<TransferSpec>) -> (Vec<FlowRecord>, NetStats) {
+    pub fn run_with_stats(&self, specs: Vec<TransferSpec>) -> (Vec<FlowRecord>, NetStats) {
+        if let Err(e) = self.check(&specs) {
+            panic!("{e}");
+        }
+        let (outcomes, stats) = self
+            .run_with_faults(specs, &[])
+            .expect("batch already checked");
+        let records = outcomes
+            .into_iter()
+            .map(|o| match o {
+                FlowOutcome::Completed(r) => r,
+                FlowOutcome::Stalled { .. } => unreachable!("no faults, no stalls"),
+            })
+            .collect();
+        (records, stats)
+    }
+
+    /// Run the batch under a schedule of link outages. Flows whose route
+    /// crosses a failing link are re-routed (Dijkstra over the surviving
+    /// links); flows whose endpoints are partitioned park until a repair
+    /// reconnects them, and finish as [`FlowOutcome::Stalled`] if none
+    /// does. Active flows keep their detour after a repair — routes stay
+    /// pinned, as 1992 static routing did.
+    pub fn run_with_faults(
+        &self,
+        mut specs: Vec<TransferSpec>,
+        faults: &[LinkFault],
+    ) -> Result<(Vec<FlowOutcome>, NetStats), FlowError> {
+        self.check(&specs)?;
+        let mut trans: Vec<Transition> = Vec::with_capacity(2 * faults.len());
+        for f in faults {
+            assert!(f.link < self.net.links().len(), "fault on link {}", f.link);
+            assert!(f.down_at < f.up_at, "repair must follow the outage");
+            trans.push(Transition {
+                at: f.down_at,
+                link: f.link,
+                down: true,
+            });
+            if f.up_at != SimTime::MAX {
+                trans.push(Transition {
+                    at: f.up_at,
+                    link: f.link,
+                    down: false,
+                });
+            }
+        }
+        // Repairs before outages at equal times, then by link id: the
+        // schedule is a total order, so replays are bit-identical.
+        trans.sort_by_key(|t| (t.at, t.down, t.link));
+        let mut down = vec![false; self.net.links().len()];
+        let mut down_count = vec![0u32; self.net.links().len()];
+
         let order: Vec<usize> = {
             let mut idx: Vec<usize> = (0..specs.len()).collect();
             idx.sort_by_key(|&i| (specs[i].start, i));
@@ -220,12 +386,22 @@ impl<'a> FlowSim<'a> {
         };
         let mut records: Vec<Option<FlowRecord>> = specs.iter().map(|_| None).collect();
         let mut active: Vec<Active> = Vec::new();
+        let mut parked: Vec<Parked> = Vec::new();
         let mut next = 0usize;
+        let mut ti = 0usize;
         let mut now = SimTime::ZERO;
         let mut carried = vec![0.0f64; self.net.dir_links()];
 
+        let window_cap = |spec: &TransferSpec, route: &Route| match spec.window {
+            Some(w) => {
+                let rtt = (route.latency * 2).as_secs_f64().max(1e-9);
+                w as f64 / rtt
+            }
+            None => f64::INFINITY,
+        };
+
         loop {
-            if active.is_empty() && next >= order.len() {
+            if active.is_empty() && next >= order.len() && ti >= trans.len() {
                 break;
             }
             // Earliest completion under current (constant) rates.
@@ -239,12 +415,32 @@ impl<'a> FlowSim<'a> {
                 })
                 .min();
             let arrival = (next < order.len()).then(|| specs[order[next]].start);
+            let transition = (ti < trans.len()).then(|| trans[ti].at);
 
-            let (t, is_arrival) = match (finish, arrival) {
-                (Some(f), Some(a)) if a <= f => (a, true),
-                (Some(f), _) => (f, false),
-                (None, Some(a)) => (a, true),
-                (None, None) => break,
+            // Tie-break at equal times: transition, then arrival, then
+            // finish — an outage is in effect before a flow routes over
+            // it. (With no faults this is the original arrival<=finish
+            // rule, so zero-fault runs are bit-identical.)
+            #[derive(PartialEq)]
+            enum Kind {
+                Finish,
+                Arrival,
+                Transition,
+            }
+            let mut pick: Option<(SimTime, Kind)> = finish.map(|f| (f, Kind::Finish));
+            if let Some(a) = arrival {
+                if pick.as_ref().is_none_or(|(t, _)| a <= *t) {
+                    pick = Some((a, Kind::Arrival));
+                }
+            }
+            if let Some(tr) = transition {
+                if pick.as_ref().is_none_or(|(t, _)| tr <= *t) {
+                    pick = Some((tr, Kind::Transition));
+                }
+            }
+            let (t, kind) = match pick {
+                Some(p) => p,
+                None => break,
             };
 
             // Drain all active flows up to t.
@@ -257,55 +453,114 @@ impl<'a> FlowSim<'a> {
             }
             now = t;
 
-            if is_arrival {
-                while next < order.len() && specs[order[next]].start <= now {
-                    let id = order[next];
-                    next += 1;
-                    let spec = &specs[id];
-                    let route = self.net.route(spec.src, spec.dst).unwrap_or_else(|| {
-                        panic!(
-                            "no route {} -> {}",
-                            self.net.name(spec.src),
-                            self.net.name(spec.dst)
-                        )
-                    });
-                    assert!(spec.src != spec.dst, "transfer to self");
-                    let cap = match spec.window {
-                        Some(w) => {
-                            let rtt = (route.latency * 2).as_secs_f64().max(1e-9);
-                            w as f64 / rtt
+            match kind {
+                Kind::Transition => {
+                    while ti < trans.len() && trans[ti].at <= now {
+                        let tr = &trans[ti];
+                        ti += 1;
+                        if tr.down {
+                            down_count[tr.link] += 1;
+                            down[tr.link] = true;
+                        } else {
+                            down_count[tr.link] -= 1;
+                            down[tr.link] = down_count[tr.link] > 0;
                         }
-                        None => f64::INFINITY,
-                    };
-                    active.push(Active {
-                        id,
-                        route,
-                        remaining: spec.bytes as f64,
-                        cap,
-                        rate: 0.0,
-                        started: now,
-                    });
+                        if tr.down {
+                            // Re-route live flows off the dead link; park
+                            // the ones the outage partitions.
+                            let mut i = 0;
+                            while i < active.len() {
+                                if !active[i].route.dirs.iter().any(|&d| d / 2 == tr.link) {
+                                    i += 1;
+                                    continue;
+                                }
+                                let spec = &specs[active[i].id];
+                                match self.net.route_avoiding(spec.src, spec.dst, &down) {
+                                    Some(route) => {
+                                        active[i].cap = window_cap(spec, &route);
+                                        active[i].route = route;
+                                        i += 1;
+                                    }
+                                    None => {
+                                        let f = active.swap_remove(i);
+                                        parked.push(Parked {
+                                            id: f.id,
+                                            remaining: f.remaining,
+                                            started: Some(f.started),
+                                            since: now,
+                                        });
+                                    }
+                                }
+                            }
+                        } else {
+                            // A repair may reconnect parked flows.
+                            let mut i = 0;
+                            while i < parked.len() {
+                                let spec = &specs[parked[i].id];
+                                match self.net.route_avoiding(spec.src, spec.dst, &down) {
+                                    Some(route) => {
+                                        let p = parked.remove(i);
+                                        active.push(Active {
+                                            id: p.id,
+                                            cap: window_cap(spec, &route),
+                                            route,
+                                            remaining: p.remaining,
+                                            rate: 0.0,
+                                            started: p.started.unwrap_or(now),
+                                        });
+                                    }
+                                    None => i += 1,
+                                }
+                            }
+                        }
+                    }
                 }
-            } else {
-                // Record and drop finished flows (remaining ~ 0).
-                let mut i = 0;
-                while i < active.len() {
-                    // Done when less than ~2 ns of work remains at the
-                    // flow's current rate (sub-clock-tick residue).
-                    let done_below = (active[i].rate * 2e-9).max(1e-6);
-                    if active[i].remaining <= done_below {
-                        let f = active.swap_remove(i);
-                        let spec = specs[f.id].clone();
-                        records[f.id] = Some(FlowRecord {
-                            hops: f.route.hops(),
-                            path_latency: f.route.latency,
-                            started: f.started,
-                            // Last byte still has to propagate.
-                            finished: now + f.route.latency,
-                            spec,
-                        });
-                    } else {
-                        i += 1;
+                Kind::Arrival => {
+                    while next < order.len() && specs[order[next]].start <= now {
+                        let id = order[next];
+                        next += 1;
+                        let spec = &specs[id];
+                        match self.net.route_avoiding(spec.src, spec.dst, &down) {
+                            Some(route) => {
+                                active.push(Active {
+                                    id,
+                                    cap: window_cap(spec, &route),
+                                    route,
+                                    remaining: spec.bytes as f64,
+                                    rate: 0.0,
+                                    started: now,
+                                });
+                            }
+                            None => parked.push(Parked {
+                                id,
+                                remaining: spec.bytes as f64,
+                                started: None,
+                                since: now,
+                            }),
+                        }
+                    }
+                }
+                Kind::Finish => {
+                    // Record and drop finished flows (remaining ~ 0).
+                    let mut i = 0;
+                    while i < active.len() {
+                        // Done when less than ~2 ns of work remains at the
+                        // flow's current rate (sub-clock-tick residue).
+                        let done_below = (active[i].rate * 2e-9).max(1e-6);
+                        if active[i].remaining <= done_below {
+                            let f = active.swap_remove(i);
+                            let spec = specs[f.id].clone();
+                            records[f.id] = Some(FlowRecord {
+                                hops: f.route.hops(),
+                                path_latency: f.route.latency,
+                                started: f.started,
+                                // Last byte still has to propagate.
+                                finished: now + f.route.latency,
+                                spec,
+                            });
+                        } else {
+                            i += 1;
+                        }
                     }
                 }
             }
@@ -323,17 +578,33 @@ impl<'a> FlowSim<'a> {
                 }
             }
         }
-        specs.clear();
-        let records: Vec<FlowRecord> = records
-            .into_iter()
-            .map(|r| r.expect("flow finished"))
-            .collect();
         let makespan = records
             .iter()
+            .flatten()
             .map(|r| r.finished)
             .max()
             .unwrap_or(SimTime::ZERO);
-        (records, NetStats { carried, makespan })
+        let outcomes: Vec<FlowOutcome> = records
+            .into_iter()
+            .enumerate()
+            .map(|(id, r)| match r {
+                Some(rec) => FlowOutcome::Completed(rec),
+                None => {
+                    let p = parked
+                        .iter()
+                        .find(|p| p.id == id)
+                        .expect("unfinished flow is parked");
+                    FlowOutcome::Stalled {
+                        spec: specs[id].clone(),
+                        started: p.started,
+                        delivered: specs[id].bytes as f64 - p.remaining,
+                        stalled_at: p.since,
+                    }
+                }
+            })
+            .collect();
+        specs.clear();
+        Ok((outcomes, NetStats { carried, makespan }))
     }
 }
 
@@ -533,6 +804,168 @@ mod tests {
             (3.5..4.5).contains(&ratio),
             "4 equal flows on one pipe: expected ~4x, got {ratio}"
         );
+    }
+
+    #[test]
+    fn unroutable_spec_is_rejected_up_front() {
+        let mut net = Net::new();
+        let a = net.add_site("CalTech");
+        let b = net.add_site("island");
+        let c = net.add_site("JPL");
+        net.add_link(a, c, LinkClass::T1, Dur::from_millis(1));
+        let sim = FlowSim::new(&net);
+        let err = sim
+            .try_run(vec![
+                TransferSpec::new(a, c, 100, SimTime::ZERO),
+                TransferSpec::new(a, b, 100, SimTime::ZERO),
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::Unroutable {
+                index: 1,
+                src: "CalTech".into(),
+                dst: "island".into(),
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("CalTech") && msg.contains("island"), "{msg}");
+        let err = sim
+            .try_run(vec![TransferSpec::new(c, c, 100, SimTime::ZERO)])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::SelfTransfer { index: 0, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no path between CalTech and island")]
+    fn run_panics_with_site_names() {
+        let mut net = Net::new();
+        let a = net.add_site("CalTech");
+        let b = net.add_site("island");
+        net.add_site("JPL");
+        let sim = FlowSim::new(&net);
+        sim.run(vec![TransferSpec::new(a, b, 100, SimTime::ZERO)]);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical() {
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let specs = vec![
+            TransferSpec::new(a, c, 3_000_000, SimTime::ZERO),
+            TransferSpec::new(b, d, 1_000_000, SimTime::from_secs_f64(1.5)),
+        ];
+        let (plain, stats_a) = sim.run_with_stats(specs.clone());
+        let (outcomes, stats_b) = sim.run_with_faults(specs, &[]).unwrap();
+        for (p, o) in plain.iter().zip(&outcomes) {
+            let r = o.completed().expect("no faults, no stalls");
+            assert_eq!(p.started, r.started);
+            assert_eq!(p.finished, r.finished);
+            assert_eq!(p.hops, r.hops);
+        }
+        assert_eq!(stats_a.makespan, stats_b.makespan);
+        assert_eq!(stats_a.carried, stats_b.carried);
+    }
+
+    #[test]
+    fn outage_reroutes_a_live_flow() {
+        // Square: A-B direct (fast), A-C-B detour. Cut A-B mid-flight.
+        let mut net = Net::new();
+        let a = net.add_site("A");
+        let b = net.add_site("B");
+        let c = net.add_site("C");
+        net.add_link(a, b, LinkClass::T1, Dur::from_millis(1)); // link 0
+        net.add_link(a, c, LinkClass::T1, Dur::from_millis(5)); // link 1
+        net.add_link(c, b, LinkClass::T1, Dur::from_millis(5)); // link 2
+        let sim = FlowSim::new(&net);
+        let cap = LinkClass::T1.bytes_per_sec();
+        let spec = TransferSpec::new(a, b, (10.0 * cap) as u64, SimTime::ZERO);
+        let fault = LinkFault {
+            link: 0,
+            down_at: SimTime::from_secs_f64(4.0),
+            up_at: SimTime::from_secs_f64(1000.0),
+        };
+        let (outcomes, _) = sim.run_with_faults(vec![spec], &[fault]).unwrap();
+        let r = outcomes[0].completed().expect("rerouted, not stalled");
+        // Same T1 rate on the detour: ~10 s of transfer either way.
+        let d = r.duration().as_secs_f64();
+        assert!((d - 10.0).abs() < 0.1, "duration {d}");
+        assert_eq!(r.hops, 2, "record carries the final (detour) route");
+    }
+
+    #[test]
+    fn partition_stalls_then_repair_revives() {
+        let (net, a, _, c, _) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let cap = LinkClass::T1.bytes_per_sec();
+        let spec = TransferSpec::new(a, c, (10.0 * cap) as u64, SimTime::ZERO);
+        // The backbone (link 4) is the only path; 20 s outage at t=2 s.
+        let fault = LinkFault {
+            link: 4,
+            down_at: SimTime::from_secs_f64(2.0),
+            up_at: SimTime::from_secs_f64(22.0),
+        };
+        let (outcomes, _) = sim.run_with_faults(vec![spec.clone()], &[fault]).unwrap();
+        let r = outcomes[0].completed().expect("repair revived the flow");
+        let d = r.duration().as_secs_f64();
+        assert!((d - 30.0).abs() < 0.2, "2 s moved + 20 s parked + 8 s: {d}");
+
+        // Without a repair the flow stalls.
+        let forever = LinkFault {
+            link: 4,
+            down_at: SimTime::from_secs_f64(2.0),
+            up_at: SimTime::MAX,
+        };
+        let (outcomes, _) = sim.run_with_faults(vec![spec], &[forever]).unwrap();
+        match &outcomes[0] {
+            FlowOutcome::Stalled {
+                delivered,
+                stalled_at,
+                started,
+                ..
+            } => {
+                assert_eq!(*started, Some(SimTime::ZERO));
+                assert_eq!(*stalled_at, SimTime::from_secs_f64(2.0));
+                assert!((delivered / cap - 2.0).abs() < 0.01, "2 s of bytes moved");
+            }
+            FlowOutcome::Completed(_) => panic!("must stall across the horizon"),
+        }
+    }
+
+    #[test]
+    fn fault_runs_replay_bit_identically() {
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let mk = || {
+            let specs = vec![
+                TransferSpec::new(a, c, 5_000_000, SimTime::ZERO),
+                TransferSpec::new(b, d, 5_000_000, SimTime::from_secs_f64(3.0)),
+            ];
+            let faults = [LinkFault {
+                link: 4,
+                down_at: SimTime::from_secs_f64(5.0),
+                up_at: SimTime::from_secs_f64(9.0),
+            }];
+            sim.run_with_faults(specs, &faults).unwrap()
+        };
+        let (oa, sa) = mk();
+        let (ob, sb) = mk();
+        assert_eq!(sa.makespan, sb.makespan);
+        assert_eq!(sa.carried, sb.carried);
+        for (x, y) in oa.iter().zip(&ob) {
+            match (x, y) {
+                (FlowOutcome::Completed(p), FlowOutcome::Completed(q)) => {
+                    assert_eq!(p.finished, q.finished);
+                }
+                (
+                    FlowOutcome::Stalled { stalled_at: p, .. },
+                    FlowOutcome::Stalled { stalled_at: q, .. },
+                ) => {
+                    assert_eq!(p, q);
+                }
+                _ => panic!("outcome kinds diverged"),
+            }
+        }
     }
 
     #[test]

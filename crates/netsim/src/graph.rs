@@ -84,6 +84,14 @@ impl Net {
     /// Latency-shortest route from `src` to `dst`: the list of directed
     /// resources traversed, or `None` if unreachable.
     pub fn route(&self, src: SiteId, dst: SiteId) -> Option<Route> {
+        self.route_avoiding(src, dst, &[])
+    }
+
+    /// Like [`Net::route`], but links whose (undirected) index is marked
+    /// in `down` are treated as cut. `down` may be shorter than the link
+    /// count; missing entries mean "up". Returns `None` when the outage
+    /// set partitions `src` from `dst`.
+    pub fn route_avoiding(&self, src: SiteId, dst: SiteId, down: &[bool]) -> Option<Route> {
         if src == dst {
             return Some(Route {
                 dirs: Vec::new(),
@@ -106,6 +114,9 @@ impl Net {
                 break;
             }
             for &(idx, v) in &self.adj[u] {
+                if down.get(idx).copied().unwrap_or(false) {
+                    continue;
+                }
                 let nd = d + self.links[idx].latency.nanos();
                 let nh = hops + 1;
                 if (nd, nh) < dist[v] {
@@ -232,5 +243,34 @@ mod tests {
         let (net, _, b, _) = line3();
         assert_eq!(net.site("B"), Some(b));
         assert_eq!(net.site("nope"), None);
+    }
+
+    #[test]
+    fn route_avoiding_takes_the_detour() {
+        // Triangle: direct A-B is fast; cutting it forces A-C-B.
+        let mut net = Net::new();
+        let a = net.add_site("A");
+        let b = net.add_site("B");
+        let c = net.add_site("C");
+        net.add_link(a, b, LinkClass::T3, Dur::from_millis(2)); // link 0
+        net.add_link(a, c, LinkClass::T1, Dur::from_millis(5)); // link 1
+        net.add_link(c, b, LinkClass::T1, Dur::from_millis(5)); // link 2
+        assert_eq!(net.route(a, b).unwrap().hops(), 1);
+        let detour = net.route_avoiding(a, b, &[true]).unwrap();
+        assert_eq!(detour.hops(), 2);
+        assert_eq!(detour.latency, Dur::from_millis(10));
+        assert!(
+            net.route_avoiding(a, b, &[true, true]).is_none(),
+            "cutting A-B and A-C partitions A from B"
+        );
+    }
+
+    #[test]
+    fn route_avoiding_empty_mask_matches_route() {
+        let (net, a, _, c) = line3();
+        let plain = net.route(a, c).unwrap();
+        let masked = net.route_avoiding(a, c, &[false, false]).unwrap();
+        assert_eq!(plain.dirs, masked.dirs);
+        assert_eq!(plain.latency, masked.latency);
     }
 }

@@ -27,6 +27,8 @@ pub mod link;
 pub mod topologies;
 pub mod workload;
 
-pub use flow::{maxmin_rates, FlowRecord, FlowSim, NetStats, TransferSpec};
+pub use flow::{
+    maxmin_rates, FlowError, FlowOutcome, FlowRecord, FlowSim, LinkFault, NetStats, TransferSpec,
+};
 pub use graph::{DirLinkId, Net, Route};
 pub use link::{Link, LinkClass, SiteId};

@@ -193,3 +193,41 @@ fn gc_shape_lu_beats_fft_in_efficiency() {
         fft_eff
     );
 }
+
+/// RES-1 shape: sweeping checkpoint interval against a fixed MTBF gives
+/// a completion-time curve with an *interior* minimum — Young's
+/// trade-off between checkpoint overhead and rollback loss.
+#[test]
+fn checkpoint_interval_sweep_has_interior_minimum() {
+    let machine = Machine::new(presets::delta(2, 4));
+    let (n, nb) = (1_200, 32);
+    let probe = lu2d::run_checkpointed(&machine, n, nb, 4);
+    let base = lu2d::run(&machine, n, nb);
+    let cost = (probe.result.seconds - base.seconds) / probe.ckpt_times_s.len().max(1) as f64;
+    assert!(cost > 0.0, "checkpointing must cost something");
+    let mtbf_s = base.seconds * 0.4;
+    let opt = lu2d::young_optimal_interval(mtbf_s, cost);
+    let intervals: Vec<f64> = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|f| f * opt)
+        .collect();
+    let sweep = lu2d::resilience_sweep(&machine, n, nb, mtbf_s, &intervals, 1992, 24);
+    let best = sweep
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.mean_completion_s.total_cmp(&b.1.mean_completion_s))
+        .map(|(i, _)| i)
+        .unwrap();
+    assert!(
+        best != 0 && best != sweep.len() - 1,
+        "minimum must be interior, landed at index {best}: {:?}",
+        sweep
+            .iter()
+            .map(|p| p.mean_completion_s)
+            .collect::<Vec<_>>()
+    );
+    // And the curve really bends: endpoints are worse than the valley.
+    let valley = sweep[best].mean_completion_s;
+    assert!(sweep[0].mean_completion_s > valley);
+    assert!(sweep[sweep.len() - 1].mean_completion_s > valley);
+}

@@ -297,3 +297,78 @@ proptest! {
         prop_assert!(rel < 1e-10, "n={n} nb={nb} par={par} rel residual {rel}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded fault plan replays bit-identically: same seed, same
+    /// model, same horizon -> the identical event list, and running a
+    /// mesh program under it twice gives the identical trace.
+    #[test]
+    fn fault_plans_replay_bit_identically(
+        seed in 0u64..10_000,
+        node_mtbf_s in 1u64..5_000,
+        link_mtbf_s in 1u64..5_000,
+        horizon_s in 1u64..2_000,
+    ) {
+        use delta_mesh::{FaultPlan, MtbfModel};
+        use des::time::Dur;
+
+        let model = MtbfModel {
+            node_mtbf: Some(Dur::from_secs(node_mtbf_s)),
+            link_mtbf: Some(Dur::from_secs(link_mtbf_s)),
+            link_repair: Dur::from_secs(5),
+            ..MtbfModel::none()
+        };
+        let mk = || FaultPlan::seeded(seed, &model, 12, 17, Dur::from_secs(horizon_s));
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert!(a.events() == b.events(), "event lists diverged");
+        prop_assert!(
+            a.events().windows(2).all(|w| w[0].at <= w[1].at),
+            "events not time-ordered"
+        );
+
+        // A different seed must not replay the same non-empty plan.
+        if !a.is_empty() {
+            let c = FaultPlan::seeded(seed ^ 0x5eed, &model, 12, 17, Dur::from_secs(horizon_s));
+            prop_assert!(a.events() != c.events() || c.is_empty());
+        }
+    }
+
+    /// Running a mesh program under the same fault plan twice produces
+    /// the identical report — faults do not break determinism.
+    #[test]
+    fn faulted_mesh_runs_replay_bit_identically(seed in 0u64..2_000) {
+        use delta_mesh::{presets, FaultPlan, Machine, MtbfModel};
+        use des::time::Dur;
+
+        let model = MtbfModel::node_crashes(Dur::from_secs(2));
+        let plan = FaultPlan::seeded(seed, &model, 6, 7, Dur::from_secs(30));
+        let m = Machine::new(presets::delta(2, 3));
+        let go = || {
+            m.run_with_faults(&plan, |node| async move {
+                let mut acc = node.rank() as u64;
+                for round in 0..20u64 {
+                    let peer = (node.rank() + 1) % node.nranks();
+                    let _ = node.try_send(peer, round, delta_mesh::Payload::Virtual(64)).await;
+                    if let Ok(msg) = node
+                        .recv_timeout(None, Some(round), Dur::from_millis(50))
+                        .await
+                    {
+                        acc = acc.wrapping_add(msg.src as u64);
+                    }
+                    node.compute(delta_mesh::Kernel::Daxpy, 1.0e5).await;
+                }
+                acc
+            })
+        };
+        let (ra, pa) = go();
+        let (rb, pb) = go();
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(pa.elapsed, pb.elapsed);
+        prop_assert_eq!(pa.events, pb.events);
+        prop_assert_eq!(pa.faults, pb.faults);
+    }
+}
