@@ -4,7 +4,12 @@
 //! goals, responsibilities, funding, components, delta-peak,
 //! delta-linpack, linpack-sweep, mpp-series, consortium-net,
 //! nren-upgrade, casa, cas, grand-challenges, fft-scaling,
-//! resilience (accepts `--smoke` for a fast sweep), index.
+//! resilience (accepts `--smoke` for a fast sweep),
+//! trace (accepts `--smoke`; writes TRACE_chrome.json +
+//! TRACE_summary.txt), index.
+//!
+//! `report all --out <path>` writes the concatenated exhibits to a file
+//! instead of stdout (used to regenerate `report_all.txt`).
 
 use hpcc_bench::{exhibits as ex, perf};
 
@@ -24,6 +29,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("index");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let run = |name: &str| -> Option<String> {
         Some(match name {
@@ -43,6 +53,7 @@ fn main() {
             "fft-scaling" => ex::fft_scaling(),
             "scheduler" => ex::scheduler(),
             "resilience" => ex::resilience(smoke),
+            "trace" => ex::trace(smoke),
             "ablations" => ex::ablations(),
             "kernel-profile" => ex::kernel_profile(),
             "timeline" => ex::timeline(),
@@ -53,6 +64,9 @@ fn main() {
     };
 
     if cmd == "all" {
+        // `trace` is excluded (it writes artifact files; same precedent
+        // as `bench-kernels`).
+        let mut buf = String::new();
         for name in [
             "index",
             "goals",
@@ -75,20 +89,29 @@ fn main() {
             "kernel-profile",
             "timeline",
         ] {
-            println!("=== {name} ===\n");
-            println!("{}", run(name).unwrap());
+            buf.push_str(&format!("=== {name} ===\n\n{}\n", run(name).unwrap()));
+        }
+        match out_path {
+            Some(path) => match std::fs::write(&path, &buf) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => print!("{buf}"),
         }
     } else {
         match run(cmd) {
             Some(s) => println!("{s}"),
             None => {
                 eprintln!(
-                    "unknown exhibit command '{cmd}'; try: all, index, goals, \
+                    "unknown exhibit command '{cmd}'; try: all [--out <path>], index, goals, \
                      responsibilities, funding, components, delta-peak, delta-linpack, \
                      linpack-sweep, mpp-series, consortium-net, nren-upgrade, casa, cas, \
                      grand-challenges, fft-scaling, \
-                     scheduler, resilience [--smoke], ablations, kernel-profile, timeline, \
-                     bench-kernels"
+                     scheduler, resilience [--smoke], trace [--smoke], ablations, \
+                     kernel-profile, timeline, bench-kernels"
                 );
                 std::process::exit(2);
             }

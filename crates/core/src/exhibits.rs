@@ -184,6 +184,20 @@ pub fn registry() -> &'static [Exhibit] {
             bench: Some("ablations/resilience"),
         },
         Exhibit {
+            id: "OBS-1",
+            title: "End-to-end trace: faulted LU-2D, WAN staging, scheduler (Perfetto)",
+            kind: ExhibitKind::Figure,
+            report_cmd: "trace",
+            modules: &[
+                "hpcc_trace",
+                "delta_mesh::sim",
+                "delta_mesh::sched",
+                "nren_netsim::flow",
+                "hpcc_kernels::sim::lu2d",
+            ],
+            bench: None,
+        },
+        Exhibit {
             id: "GC-0",
             title: "ASTA kernel profile on the simulated Delta (who scales, who doesn't)",
             kind: ExhibitKind::Figure,

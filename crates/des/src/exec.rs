@@ -95,6 +95,12 @@ impl Tasks {
         !self.ready.queue.lock().unwrap().is_empty()
     }
 
+    /// Number of tasks queued to run — the executor's ready-queue depth,
+    /// sampled by the trace layer alongside the event-queue depth.
+    pub fn ready_len(&self) -> usize {
+        self.ready.queue.lock().unwrap().len()
+    }
+
     /// Abort a live task: drop its future without running it further.
     /// Returns true if the task was live. Any wakes already queued for
     /// the id are skipped silently, the same as for a finished task.

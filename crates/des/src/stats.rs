@@ -163,24 +163,48 @@ impl Histogram {
     }
 
     /// Approximate quantile by linear scan (`q` in `[0, 1]`).
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// `None` when the histogram holds no samples — an empty histogram has
+    /// no quantiles, and the old `lo` fallback silently read as "0.0".
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q));
         let total = self.count();
         if total == 0 {
-            return self.lo;
+            return None;
         }
         let target = (q * total as f64).ceil() as u64;
         let mut acc = self.underflow;
         if acc >= target {
-            return self.lo;
+            return Some(self.lo);
         }
         for (i, &b) in self.buckets.iter().enumerate() {
             acc += b;
             if acc >= target {
-                return self.lo + (i as f64 + 1.0) * self.width;
+                return Some(self.lo + (i as f64 + 1.0) * self.width);
             }
         }
-        self.lo + self.buckets.len() as f64 * self.width
+        Some(self.lo + self.buckets.len() as f64 * self.width)
+    }
+
+    /// Merge another histogram into this one. Both must share the same
+    /// geometry (`lo`, bucket width, bucket count).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo
+                && self.width == other.width
+                && self.buckets.len() == other.buckets.len(),
+            "histogram geometries differ: [{}, w={}, n={}] vs [{}, w={}, n={}]",
+            self.lo,
+            self.width,
+            self.buckets.len(),
+            other.lo,
+            other.width,
+            other.buckets.len()
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.underflow += other.underflow;
     }
 }
 
@@ -254,11 +278,49 @@ mod tests {
         for i in 0..1000 {
             h.add((i % 100) as f64);
         }
-        let q50 = h.quantile(0.5);
-        let q90 = h.quantile(0.9);
-        let q99 = h.quantile(0.99);
+        let q50 = h.quantile(0.5).unwrap();
+        let q90 = h.quantile(0.9).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
         assert!(q50 <= q90 && q90 <= q99);
         assert!((q50 - 50.0).abs() <= 2.0);
         assert!((q90 - 90.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        let mut whole = Histogram::new(0.0, 50.0, 25);
+        let mut a = Histogram::new(0.0, 50.0, 25);
+        let mut b = Histogram::new(0.0, 50.0, 25);
+        for i in 0..200 {
+            let x = (i as f64 * 0.37) - 5.0; // exercises underflow + overflow
+            whole.add(x);
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.buckets(), whole.buckets());
+        assert_eq!(a.overflow(), whole.overflow());
+        assert_eq!(a.underflow(), whole.underflow());
+        assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometries differ")]
+    fn histogram_merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 50.0, 25);
+        let b = Histogram::new(0.0, 60.0, 25);
+        a.merge(&b);
     }
 }

@@ -34,6 +34,7 @@
 //! equivalence on awkward shapes.
 
 use crate::mat::Mat;
+use hpcc_trace::{names, Recorder, WallTrack};
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -221,7 +222,11 @@ fn gemm_packed(
     kdim: usize,
     sub: bool,
     parallel: bool,
+    trace: Option<&WallTrack<'_>>,
 ) {
+    // The wall-clock hook is host-thread-only: tracing forces the
+    // sequential sweep (the parallel path would need a Sync recorder).
+    debug_assert!(trace.is_none() || !parallel);
     if m == 0 || n == 0 {
         return;
     }
@@ -241,7 +246,11 @@ fn gemm_packed(
             let mut pc = 0;
             while pc < kdim {
                 let kcs = KC.min(kdim - pc);
+                let t_pack = trace.map(WallTrack::now_ns);
                 pack_b(b, pc, kcs, jc, nc, &mut bp_buf);
+                if let (Some(t), Some(t0)) = (trace, t_pack) {
+                    t.span_from("pack", "pack_b", t0);
+                }
                 let bp: &[f64] = &bp_buf;
                 let a_strip = &apacked[m_pad * pc..m_pad * pc + m_pad * kcs];
 
@@ -275,12 +284,16 @@ fn gemm_packed(
                     }
                 };
                 // `c` covers exactly m rows; chunk it MC rows at a time.
+                let t_kern = trace.map(WallTrack::now_ns);
                 if parallel && m > MC {
                     c.par_chunks_mut(panel_rows)
                         .enumerate()
                         .for_each(update_panel);
                 } else {
                     c.chunks_mut(panel_rows).enumerate().for_each(update_panel);
+                }
+                if let (Some(t), Some(t0)) = (trace, t_kern) {
+                    t.span_from("kernel", "microkernel", t0);
                 }
                 pc += kcs;
             }
@@ -291,16 +304,25 @@ fn gemm_packed(
 
 /// `C = A·B` through the packed engine. Sequential.
 pub fn gemm(a: &Mat, b: &Mat) -> Mat {
-    gemm_impl(a, b, false)
+    gemm_impl(a, b, false, None)
 }
 
 /// `C = A·B` through the packed engine, Rayon-parallel over row panels.
 /// Bit-identical to [`gemm`].
 pub fn gemm_par(a: &Mat, b: &Mat) -> Mat {
-    gemm_impl(a, b, true)
+    gemm_impl(a, b, true, None)
 }
 
-fn gemm_impl(a: &Mat, b: &Mat, parallel: bool) -> Mat {
+/// [`gemm`] under a [`Recorder`]: pack and microkernel phases land as
+/// wall-clock spans on a `host / gemm` track. Sequential (the hook is
+/// not `Sync`), and bit-identical to [`gemm`] — the recorder only reads
+/// the clock around phases that run either way.
+pub fn gemm_recorded(a: &Mat, b: &Mat, rec: &dyn Recorder) -> Mat {
+    let wt = WallTrack::new(rec, names::HOST, "gemm");
+    gemm_impl(a, b, false, Some(&wt))
+}
+
+fn gemm_impl(a: &Mat, b: &Mat, parallel: bool, trace: Option<&WallTrack<'_>>) -> Mat {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Mat::zeros(m, n);
@@ -309,6 +331,7 @@ fn gemm_impl(a: &Mat, b: &Mat, parallel: bool) -> Mat {
     }
     PACK_A.with(|pa| {
         let mut ap = pa.borrow_mut();
+        let t_pack = trace.map(WallTrack::now_ns);
         pack_a(
             View {
                 data: a.as_slice(),
@@ -319,6 +342,9 @@ fn gemm_impl(a: &Mat, b: &Mat, parallel: bool) -> Mat {
             kdim,
             &mut ap,
         );
+        if let (Some(t), Some(t0)) = (trace, t_pack) {
+            t.span_from("pack", "pack_a", t0);
+        }
         let ldc = n;
         gemm_packed(
             &ap,
@@ -335,6 +361,7 @@ fn gemm_impl(a: &Mat, b: &Mat, parallel: bool) -> Mat {
             kdim,
             false,
             parallel,
+            trace,
         );
     });
     c
@@ -392,6 +419,7 @@ pub fn dgemm_update(
             kdim,
             true,
             parallel,
+            None,
         );
     });
 }
@@ -523,5 +551,33 @@ mod tests {
     #[test]
     fn flop_count_matches_matmul() {
         assert_eq!(gemm_flops(10, 20, 30), 12_000.0);
+    }
+
+    #[test]
+    fn recorded_gemm_is_bit_identical_and_emits_phase_spans() {
+        use hpcc_trace::{Event, MemRecorder};
+        let mut rng = Rng::new(23);
+        let a = Mat::random(70, 40, &mut rng);
+        let b = Mat::random(40, 50, &mut rng);
+        let plain = gemm(&a, &b);
+        let rec = MemRecorder::new();
+        let traced = gemm_recorded(&a, &b, &rec);
+        assert_eq!(plain, traced);
+        let (mut packs, mut kernels) = (0usize, 0usize);
+        rec.with(|_, events| {
+            for e in events {
+                if let Event::Span { cat, .. } = e {
+                    match *cat {
+                        "pack" => packs += 1,
+                        "kernel" => kernels += 1,
+                        _ => {}
+                    }
+                }
+            }
+        });
+        assert!(packs >= 2, "pack_a + at least one pack_b, got {packs}");
+        assert!(kernels >= 1, "microkernel sweep span");
+        // A disabled recorder emits nothing and still matches.
+        assert_eq!(gemm_recorded(&a, &b, &hpcc_trace::NullRecorder), plain);
     }
 }

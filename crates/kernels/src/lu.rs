@@ -11,6 +11,7 @@
 
 use crate::gemm;
 use crate::mat::Mat;
+use hpcc_trace::{names, Recorder, WallTrack};
 
 /// Factorisation failure: zero (or non-finite) pivot column at the
 /// given index.
@@ -28,15 +29,33 @@ impl std::error::Error for Singular {}
 /// In-place LU with partial pivoting. Returns the pivot vector:
 /// `piv[j]` is the row swapped with row `j` at step `j`.
 pub fn lu_factor(a: &mut Mat, nb: usize) -> Result<Vec<usize>, Singular> {
-    lu_factor_impl(a, nb, false)
+    lu_factor_impl(a, nb, false, None)
 }
 
 /// Rayon-parallel variant (parallel trailing update).
 pub fn lu_factor_par(a: &mut Mat, nb: usize) -> Result<Vec<usize>, Singular> {
-    lu_factor_impl(a, nb, true)
+    lu_factor_impl(a, nb, true, None)
 }
 
-fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, Singular> {
+/// [`lu_factor`] under a [`Recorder`]: each block step's panel
+/// factorisation, triangular solve, and trailing update land as
+/// wall-clock spans on a `host / lu` track. Sequential, bit-identical
+/// to [`lu_factor`].
+pub fn lu_factor_recorded(
+    a: &mut Mat,
+    nb: usize,
+    rec: &dyn Recorder,
+) -> Result<Vec<usize>, Singular> {
+    let wt = WallTrack::new(rec, names::HOST, "lu");
+    lu_factor_impl(a, nb, false, Some(&wt))
+}
+
+fn lu_factor_impl(
+    a: &mut Mat,
+    nb: usize,
+    parallel: bool,
+    trace: Option<&WallTrack<'_>>,
+) -> Result<Vec<usize>, Singular> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "LU needs a square matrix");
     assert!(nb > 0);
@@ -47,6 +66,7 @@ fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, 
         let kb = nb.min(n - k);
 
         // --- Panel factorisation on columns [k, k+kb), rows [k, n). ---
+        let t_panel = trace.map(WallTrack::now_ns);
         for j in k..k + kb {
             // Pivot search down column j.
             let mut p = j;
@@ -80,8 +100,13 @@ fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, 
             }
         }
 
+        if let (Some(t), Some(t0)) = (trace, t_panel) {
+            t.span_from("panel", "panel", t0);
+        }
+
         if k + kb < n {
             // --- U12 = L11^{-1} A12 (unit lower triangular solve). ---
+            let t_trsm = trace.map(WallTrack::now_ns);
             for j in k + 1..k + kb {
                 for i in k..j {
                     let lji = a[(j, i)];
@@ -95,6 +120,10 @@ fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, 
                 }
             }
 
+            if let (Some(t), Some(t0)) = (trace, t_trsm) {
+                t.span_from("trsm", "trsm", t0);
+            }
+
             // --- A22 -= L21 · U12 (the dgemm that dominates). ---
             // Split the backing storage at row k+kb: `upper` holds U12
             // (rows k.., cols k+kb..), `lower` holds both L21 (cols
@@ -104,6 +133,7 @@ fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, 
             let ncols = a.cols();
             let split = (k + kb) * ncols;
             let (upper, lower) = a.as_mut_slice().split_at_mut(split);
+            let t_update = trace.map(WallTrack::now_ns);
             gemm::dgemm_update(
                 lower,
                 ncols,
@@ -117,6 +147,9 @@ fn lu_factor_impl(a: &mut Mat, nb: usize, parallel: bool) -> Result<Vec<usize>, 
                 k + kb,
                 parallel,
             );
+            if let (Some(t), Some(t0)) = (trace, t_update) {
+                t.span_from("update", "update", t0);
+            }
         }
         k += kb;
     }
@@ -324,5 +357,31 @@ mod tests {
     #[test]
     fn linpack_flop_convention() {
         assert_eq!(linpack_flops(100), 2.0 * 1e6 / 3.0 + 2.0 * 1e4);
+    }
+
+    #[test]
+    fn recorded_lu_is_bit_identical_and_emits_phase_spans() {
+        use hpcc_trace::{Event, MemRecorder};
+        let mut rng = Rng::new(53);
+        let a = Mat::random(64, 64, &mut rng);
+        let mut plain = a.clone();
+        let p_plain = lu_factor(&mut plain, 16).unwrap();
+        let rec = MemRecorder::new();
+        let mut traced = a.clone();
+        let p_traced = lu_factor_recorded(&mut traced, 16, &rec).unwrap();
+        assert_eq!(p_plain, p_traced);
+        assert_eq!(plain, traced, "recording must not perturb the factors");
+        let mut cats: Vec<&'static str> = Vec::new();
+        rec.with(|_, events| {
+            for e in events {
+                if let Event::Span { cat, .. } = e {
+                    cats.push(cat);
+                }
+            }
+        });
+        // 4 block steps: 4 panels, 3 trsm+update pairs.
+        assert_eq!(cats.iter().filter(|c| **c == "panel").count(), 4);
+        assert_eq!(cats.iter().filter(|c| **c == "trsm").count(), 3);
+        assert_eq!(cats.iter().filter(|c| **c == "update").count(), 3);
     }
 }

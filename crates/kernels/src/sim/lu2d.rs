@@ -19,9 +19,11 @@
 //!   HPL-style long-swap implementations do.
 
 use crate::lu::linpack_flops;
-use delta_mesh::{Comm, Kernel, Machine, MachineConfig, RunReport};
+use delta_mesh::{Comm, FaultPlan, Kernel, Machine, MachineConfig, RunReport};
 use des::rng::Rng;
 use des::time::Dur;
+use hpcc_trace::{NullRecorder, Recorder};
+use std::rc::Rc;
 
 /// Result of a modelled run.
 #[derive(Debug, Clone)]
@@ -108,13 +110,46 @@ pub struct CkptRun {
 /// share to stable storage at mesh link bandwidth. `every_steps == 0`
 /// disables checkpointing and reproduces [`run`] exactly.
 pub fn run_checkpointed(machine: &Machine, n: usize, nb: usize, every_steps: usize) -> CkptRun {
+    run_impl(
+        machine,
+        n,
+        nb,
+        every_steps,
+        &FaultPlan::none(),
+        Rc::new(NullRecorder),
+    )
+}
+
+/// [`run`] under a [`FaultPlan`] and a trace [`Recorder`]: the exhibit's
+/// faulted, fully-instrumented LU-2D. Every mesh node's
+/// compute/send/recv/blocked intervals, every channel occupancy window,
+/// and the executor's queue depth land in the recorder; the timing
+/// result is what the (identically seeded) unrecorded run would report.
+pub fn run_traced(
+    machine: &Machine,
+    n: usize,
+    nb: usize,
+    plan: &FaultPlan,
+    rec: Rc<dyn Recorder>,
+) -> CkptRun {
+    run_impl(machine, n, nb, 0, plan, rec)
+}
+
+fn run_impl(
+    machine: &Machine,
+    n: usize,
+    nb: usize,
+    every_steps: usize,
+    plan: &FaultPlan,
+    rec: Rc<dyn Recorder>,
+) -> CkptRun {
     let p = machine.config().nodes();
     let (pr, pc) = choose_grid(p);
     let cfg = machine.config().clone();
     let pivot_cost = allreduce_latency(&cfg, pr, 16);
     let io_bw = cfg.net.bandwidth;
 
-    let (mut times, report) = machine.run(move |node| {
+    let (mut times, report) = machine.run_recorded(plan, rec, move |node| {
         let pivot_cost = pivot_cost;
         async move {
             let world = (every_steps > 0).then(|| Comm::world(&node));
@@ -214,7 +249,8 @@ pub fn run_checkpointed(machine: &Machine, n: usize, nb: usize, every_steps: usi
             report,
         },
         every_steps,
-        ckpt_times_s: times.swap_remove(0),
+        // Node 0's checkpoint log; empty if a fault killed node 0.
+        ckpt_times_s: times.swap_remove(0).unwrap_or_default(),
     }
 }
 
@@ -410,6 +446,56 @@ mod tests {
         assert_eq!(plain.report.elapsed, ck.result.report.elapsed);
         assert_eq!(plain.report.events, ck.result.report.events);
         assert!(ck.ckpt_times_s.is_empty());
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_captures_the_fault() {
+        use delta_mesh::FaultKind;
+        use des::time::SimTime;
+        use hpcc_trace::{Event, MemRecorder};
+        let m = Machine::new(presets::delta(2, 4));
+        // A transient outage + a slow node: the run degrades but finishes.
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::from_secs_f64(0.01),
+            FaultKind::LinkDown {
+                link: 0,
+                until: SimTime::from_secs_f64(0.05),
+            },
+        );
+        plan.push(
+            SimTime::from_secs_f64(0.02),
+            FaultKind::NodeSlow {
+                node: 3,
+                factor: 4.0,
+                until: SimTime::from_secs_f64(0.2),
+            },
+        );
+        let silent = run_traced(&m, 1500, 32, &plan, Rc::new(NullRecorder));
+        let rec = Rc::new(MemRecorder::new());
+        let traced = run_traced(&m, 1500, 32, &plan, Rc::clone(&rec) as Rc<dyn Recorder>);
+        assert_eq!(
+            silent.result.report.elapsed, traced.result.report.elapsed,
+            "recording must not perturb the faulted run"
+        );
+        assert_eq!(silent.result.report.events, traced.result.report.events);
+        assert!(!rec.is_empty());
+        let (mut computes, mut faults) = (0usize, 0usize);
+        rec.with(|_, events| {
+            for e in events {
+                match e {
+                    Event::Span { cat, .. } if *cat == "compute" => computes += 1,
+                    Event::Instant { cat, .. } if *cat == "fault" => faults += 1,
+                    _ => {}
+                }
+            }
+        });
+        assert!(computes > 0, "kernel compute spans recorded");
+        assert!(faults >= 2, "down + slowdown instants recorded");
+        // Fault-free traced run reproduces the plain model exactly.
+        let plain = run(&m, 1500, 32);
+        let clean = run_traced(&m, 1500, 32, &FaultPlan::none(), Rc::new(NullRecorder));
+        assert_eq!(plain.report.elapsed, clean.result.report.elapsed);
     }
 
     #[test]

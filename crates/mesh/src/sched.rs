@@ -13,6 +13,7 @@ use des::queue::EventQueue;
 use des::rng::Rng;
 use des::stats::Summary;
 use des::time::{Dur, SimTime};
+use hpcc_trace::{names, NullRecorder, Recorder, TrackId};
 
 /// One batch job: a sub-mesh shape held for a duration.
 #[derive(Debug, Clone)]
@@ -130,11 +131,41 @@ pub fn run(rows: usize, cols: usize, jobs: Vec<Job>, policy: Policy) -> SchedRep
 pub fn run_with_faults(
     rows: usize,
     cols: usize,
-    mut jobs: Vec<Job>,
+    jobs: Vec<Job>,
     policy: Policy,
     plan: &FaultPlan,
 ) -> SchedReport {
+    run_recorded(rows, cols, jobs, policy, plan, &NullRecorder)
+}
+
+/// Run the scheduler with a trace recorder attached. Each job gets a
+/// track carrying its queue-wait, run, and killed-attempt spans; a
+/// "queue" track samples queued/running job counts after every event.
+/// The recorder observes timestamps the scheduler already computed —
+/// [`run_with_faults`] routes through here with a [`NullRecorder`] and
+/// is bit-identical.
+pub fn run_recorded(
+    rows: usize,
+    cols: usize,
+    mut jobs: Vec<Job>,
+    policy: Policy,
+    plan: &FaultPlan,
+    rec: &dyn Recorder,
+) -> SchedReport {
     jobs.sort_by_key(|j| (j.arrival, j.id));
+    let rec_on = rec.is_enabled();
+    let job_track: Vec<TrackId> = if rec_on {
+        jobs.iter()
+            .map(|j| rec.track(names::SCHED, &format!("job {}", j.id)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let queue_track = if rec_on {
+        rec.track(names::SCHED, "queue")
+    } else {
+        0
+    };
     let mut space = MeshSpace::new(rows, cols);
     let mut q: EventQueue<Ev> = EventQueue::new();
     for (i, j) in jobs.iter().enumerate() {
@@ -164,6 +195,7 @@ pub fn run_with_faults(
                      running: &mut Vec<Running>,
                      attempt_of: &[u32],
                      frag: &mut u64,
+                     killed: &[Vec<KilledAttempt>],
                      policy: Policy| {
         let now = q.now();
         let mut i = 0;
@@ -180,6 +212,15 @@ pub fn run_with_faults(
                         started: now,
                         placement: sm,
                     });
+                    if rec_on {
+                        // Queue wait for this attempt: since arrival, or
+                        // since the kill that re-queued it.
+                        let since = killed[idx]
+                            .last()
+                            .map(|k| k.killed)
+                            .unwrap_or(jobs[idx].arrival);
+                        rec.span(job_track[idx], "wait", "queued", since.nanos(), now.nanos());
+                    }
                     // Restart the scan: freeing order may let earlier
                     // queue entries in — but FCFS order is preserved
                     // because we always scan from the front.
@@ -218,6 +259,16 @@ pub fn run_with_faults(
                     busy_node_time += jobs[i].nodes() as f64 * jobs[i].runtime.as_secs_f64();
                     makespan = makespan.max(now - SimTime::ZERO);
                     space.free(entry.placement);
+                    if rec_on {
+                        let (r, c) = jobs[i].shape;
+                        rec.span(
+                            job_track[i],
+                            "run",
+                            &format!("{r}x{c}"),
+                            entry.started.nanos(),
+                            now.nanos(),
+                        );
+                    }
                     records[i] = Some(JobRecord {
                         job: jobs[i].clone(),
                         attempts: std::mem::take(&mut killed[i]),
@@ -250,6 +301,19 @@ pub fn run_with_faults(
                         jobs_killed += 1;
                         space.free(sm);
                         queue.push(entry.idx);
+                        if rec_on {
+                            rec.span(
+                                job_track[entry.idx],
+                                "killed",
+                                "killed attempt",
+                                entry.started.nanos(),
+                                now.nanos(),
+                            );
+                            rec.instant(job_track[entry.idx], "fault", "killed", now.nanos());
+                        }
+                    }
+                    if rec_on {
+                        rec.instant(queue_track, "fault", "node_fault", now.nanos());
                     }
                 }
             }
@@ -261,8 +325,18 @@ pub fn run_with_faults(
                 &mut running,
                 &attempt_of,
                 &mut frag,
+                &killed,
                 policy,
             );
+            if rec_on {
+                rec.counter(queue_track, "queued_jobs", now.nanos(), queue.len() as f64);
+                rec.counter(
+                    queue_track,
+                    "running_jobs",
+                    now.nanos(),
+                    running.len() as f64,
+                );
+            }
         }
         // The calendar drained. Fault-free, an empty queue is an
         // invariant; under faults, jobs whose shape no longer fits the
@@ -280,6 +354,9 @@ pub fn run_with_faults(
             let fits = space.clone().allocate(r, c, true).is_some();
             if !fits {
                 unrunnable.push(jobs[idx].id);
+                if rec_on {
+                    rec.instant(job_track[idx], "fault", "unrunnable", q.now().nanos());
+                }
             }
             fits
         });
@@ -294,6 +371,7 @@ pub fn run_with_faults(
             &mut running,
             &attempt_of,
             &mut frag,
+            &killed,
             policy,
         );
     }
@@ -532,6 +610,56 @@ mod tests {
         assert_eq!(r.unrunnable, vec![0]);
         assert_eq!(r.jobs, 1);
         assert_eq!(r.records[0].job.id, 1);
+    }
+
+    #[test]
+    fn recorded_schedule_is_bit_identical_and_emits_job_spans() {
+        use des::faults::{FaultKind, MtbfModel};
+        use hpcc_trace::{Event, MemRecorder};
+        let jobs = consortium_workload(40, 14, 45.0, 5);
+        let plan = FaultPlan::seeded(
+            4,
+            &MtbfModel::node_crashes(Dur::from_secs(3_000)),
+            16 * 33,
+            0,
+            Dur::from_secs(6_000),
+        );
+        let plain = run_with_faults(16, 33, jobs.clone(), Policy::Backfill, &plan);
+        let rec = MemRecorder::new();
+        let traced = run_recorded(16, 33, jobs.clone(), Policy::Backfill, &plan, &rec);
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.utilization, traced.utilization);
+        assert_eq!(plain.mean_wait, traced.mean_wait);
+        assert_eq!(plain.jobs_killed, traced.jobs_killed);
+        assert_eq!(plain.unrunnable, traced.unrunnable);
+        // Every completed job has exactly one run span and at least one
+        // wait span; kill spans match the kill count.
+        let (mut runs, mut waits, mut kills) = (0usize, 0usize, 0usize);
+        rec.with(|_, events| {
+            for e in events {
+                if let Event::Span { cat, .. } = e {
+                    match *cat {
+                        "run" => runs += 1,
+                        "wait" => waits += 1,
+                        "killed" => kills += 1,
+                        _ => {}
+                    }
+                }
+            }
+        });
+        assert_eq!(runs, traced.jobs);
+        assert!(waits >= traced.jobs);
+        assert_eq!(kills as u64, traced.jobs_killed);
+        // A crash that kills nothing still records the node fault instant.
+        let mut tiny = FaultPlan::none();
+        tiny.push(SimTime(1_000_000_000), FaultKind::NodeCrash { node: 0 });
+        let rec2 = MemRecorder::new();
+        let _ = run_recorded(4, 4, vec![], Policy::Fcfs, &tiny, &rec2);
+        rec2.with(|_, events| {
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, Event::Instant { name, .. } if name == "node_fault")));
+        });
     }
 
     #[test]

@@ -26,6 +26,7 @@ use bytes::Bytes;
 use des::faults::{FaultKind, FaultPlan};
 use des::time::{Dur, SimTime};
 use des::{Completion, EventQueue, Tasks};
+use hpcc_trace::{names, NullRecorder, Recorder, TrackId};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
@@ -231,12 +232,36 @@ struct SimCore {
     down_until: Vec<SimTime>,
     down_links: usize,
     next_token: u64,
+    /// Trace sink. Pure observer: it is handed timestamps the simulator
+    /// already computed and never feeds anything back, so a disabled
+    /// recorder leaves the run bit-identical.
+    rec: Rc<dyn Recorder>,
+    /// Cached `rec.is_enabled()` — the fast path is one bool test.
+    rec_on: bool,
+    /// Trace track per node rank / per channel (empty when disabled).
+    node_track: Vec<TrackId>,
+    link_track: Vec<TrackId>,
 }
 
 impl SimCore {
-    fn new(cfg: Rc<MachineConfig>) -> SimCore {
+    fn new(cfg: Rc<MachineConfig>, rec: Rc<dyn Recorder>) -> SimCore {
         let n = cfg.nodes();
         let links = cfg.topology.links();
+        let rec_on = rec.is_enabled();
+        let node_track = if rec_on {
+            (0..n)
+                .map(|r| rec.track(names::MESH_NODES, &format!("node {r}")))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let link_track = if rec_on {
+            (0..links)
+                .map(|l| rec.track(names::MESH_LINKS, &format!("chan {l}")))
+                .collect()
+        } else {
+            Vec::new()
+        };
         SimCore {
             // Steady state holds at most a wake or delivery per node;
             // pre-size so the calendar never regrows mid-run.
@@ -254,6 +279,10 @@ impl SimCore {
             down_until: vec![SimTime::ZERO; links],
             down_links: 0,
             next_token: 0,
+            rec,
+            rec_on,
+            node_track,
+            link_track,
         }
     }
 
@@ -286,6 +315,10 @@ impl SimCore {
 
         if self.failed[dst] {
             self.counters.faults.messages_lost += 1;
+            if self.rec_on {
+                self.rec
+                    .instant(self.node_track[src], "fault", "msg_lost", now.nanos());
+            }
             return Err(CommError::NodeFailed(dst));
         }
 
@@ -304,6 +337,10 @@ impl SimCore {
             {
                 self.route_buf = route;
                 self.counters.faults.messages_lost += 1;
+                if self.rec_on {
+                    self.rec
+                        .instant(self.node_track[src], "fault", "msg_lost", now.nanos());
+                }
                 return Err(CommError::Unreachable { from: src, to: dst });
             }
             // The first byte reaches the wire only after the sender's
@@ -326,6 +363,20 @@ impl SimCore {
                         self.link_busy_until[l] = end;
                     }
                     self.counters.link_busy += dur * route.len() as u64;
+                    if self.rec_on {
+                        // Channel-occupancy spans: the whole path holds the
+                        // reservation window the model just computed.
+                        let label = format!("{src}->{dst}");
+                        for &l in &route {
+                            self.rec.span(
+                                self.link_track[l],
+                                "link",
+                                &label,
+                                start.nanos(),
+                                end.nanos(),
+                            );
+                        }
+                    }
                     end
                 }
                 crate::machine::Switching::StoreAndForward => {
@@ -337,6 +388,15 @@ impl SimCore {
                         let end = start + net.per_hop + serial;
                         self.link_busy_until[l] = end;
                         self.counters.link_busy += net.per_hop + serial;
+                        if self.rec_on {
+                            self.rec.span(
+                                self.link_track[l],
+                                "link",
+                                &format!("{src}->{dst}"),
+                                start.nanos(),
+                                end.nanos(),
+                            );
+                        }
                         at = end;
                     }
                     at
@@ -394,6 +454,14 @@ impl SimCore {
                 }
                 self.failed[node] = true;
                 self.counters.faults.node_crashes += 1;
+                if self.rec_on {
+                    self.rec.instant(
+                        self.node_track[node],
+                        "fault",
+                        "crash",
+                        self.q.now().nanos(),
+                    );
+                }
                 // The node's queued and matched-but-unconsumed messages
                 // die with it.
                 self.mailbox[node].clear();
@@ -409,11 +477,23 @@ impl SimCore {
                 if !self.failed[node] {
                     self.slow[node] = (factor, until);
                     self.counters.faults.slowdowns += 1;
+                    if self.rec_on {
+                        self.rec.instant(
+                            self.node_track[node],
+                            "fault",
+                            "slowdown",
+                            self.q.now().nanos(),
+                        );
+                    }
                 }
                 None
             }
             FaultKind::LinkDown { link, until } => {
                 self.counters.faults.link_faults += 1;
+                if self.rec_on {
+                    self.rec
+                        .instant(self.link_track[link], "fault", "down", self.q.now().nanos());
+                }
                 // Overlapping outages: keep the latest repair time; the
                 // LinkUp for the earlier outage then arrives early and is
                 // ignored by the `down_until` check.
@@ -432,6 +512,10 @@ impl SimCore {
         if self.down[link] && self.q.now() >= self.down_until[link] {
             self.down[link] = false;
             self.down_links -= 1;
+            if self.rec_on {
+                self.rec
+                    .instant(self.link_track[link], "fault", "up", self.q.now().nanos());
+            }
         }
     }
 
@@ -443,6 +527,14 @@ impl SimCore {
             let p = pend.remove(pos).unwrap();
             self.blocked[dst] = None;
             self.counters.faults.timeouts += 1;
+            if self.rec_on {
+                self.rec.instant(
+                    self.node_track[dst],
+                    "fault",
+                    "timeout",
+                    self.q.now().nanos(),
+                );
+            }
             p.done.fulfil(Err(CommError::Timeout { after }));
         }
     }
@@ -483,6 +575,34 @@ impl Node {
         self.core.borrow().q.now()
     }
 
+    /// A recorder is attached; callers gate trace-name formatting on this.
+    fn traced(&self) -> bool {
+        self.core.borrow().rec_on
+    }
+
+    /// Emit the interval `[t0, now]` on this node's trace track.
+    fn trace_span(&self, cat: &'static str, name: &str, t0: SimTime) {
+        let core = self.core.borrow();
+        if core.rec_on {
+            core.rec.span(
+                core.node_track[self.rank],
+                cat,
+                name,
+                t0.nanos(),
+                core.q.now().nanos(),
+            );
+        }
+    }
+
+    /// Emit a point event on this node's trace track, stamped now.
+    fn trace_instant(&self, cat: &'static str, name: &str) {
+        let core = self.core.borrow();
+        if core.rec_on {
+            core.rec
+                .instant(core.node_track[self.rank], cat, name, core.q.now().nanos());
+        }
+    }
+
     /// The machine this program is running on. A refcount bump, not a
     /// deep copy — node programs may call this per query.
     pub fn machine(&self) -> Rc<MachineConfig> {
@@ -504,13 +624,17 @@ impl Node {
     /// before the failure detector answered).
     pub async fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
         assert!(dst < self.nranks, "send to rank {dst} of {}", self.nranks);
-        let (c, sent) = {
+        let (c, sent, t0) = {
             let mut core = self.core.borrow_mut();
+            let t0 = core.q.now();
             let sent = core.inject(self.rank, dst, tag, payload);
             let ov = core.cfg.net.send_overhead;
-            (core.timer(ov), sent)
+            (core.timer(ov), sent, t0)
         };
         c.wait().await;
+        if self.traced() {
+            self.trace_span("send", &format!("send->{dst}"), t0);
+        }
         sent
     }
 
@@ -533,6 +657,7 @@ impl Node {
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
                 self.core.borrow_mut().counters.faults.retries += 1;
+                self.trace_instant("fault", "retry");
                 self.delay(backoff).await;
                 backoff = backoff * 2;
             }
@@ -589,51 +714,62 @@ impl Node {
         tag: Option<u64>,
         timeout: Option<Dur>,
     ) -> Result<Msg, CommError> {
-        let waited = {
+        let (waited, t0) = {
             let mut core = self.core.borrow_mut();
+            let t0 = core.q.now();
             let mbox = &mut core.mailbox[self.rank];
-            if let Some(pos) = mbox.iter().position(|m| matches(src, tag, m.src, m.tag)) {
-                Ok(mbox.remove(pos).unwrap())
-            } else {
-                let token = core.next_token;
-                core.next_token += 1;
-                let done: Completion<Result<Msg, CommError>> = Completion::new();
-                core.pending[self.rank].push_back(PendingRecv {
-                    src,
-                    tag,
-                    done: done.clone(),
-                    token,
-                });
-                if let Some(after) = timeout {
-                    core.q.schedule_in(
-                        after,
-                        Event::RecvDeadline {
-                            dst: self.rank,
-                            token,
+            let waited =
+                if let Some(pos) = mbox.iter().position(|m| matches(src, tag, m.src, m.tag)) {
+                    Ok(mbox.remove(pos).unwrap())
+                } else {
+                    let token = core.next_token;
+                    core.next_token += 1;
+                    let done: Completion<Result<Msg, CommError>> = Completion::new();
+                    core.pending[self.rank].push_back(PendingRecv {
+                        src,
+                        tag,
+                        done: done.clone(),
+                        token,
+                    });
+                    if let Some(after) = timeout {
+                        core.q.schedule_in(
                             after,
-                        },
-                    );
-                }
-                core.blocked[self.rank] = Some(format!("recv(src={src:?}, tag={tag:?})"));
-                Err(done)
-            }
+                            Event::RecvDeadline {
+                                dst: self.rank,
+                                token,
+                                after,
+                            },
+                        );
+                    }
+                    core.blocked[self.rank] = Some(format!("recv(src={src:?}, tag={tag:?})"));
+                    Err(done)
+                };
+            (waited, t0)
         };
         let (msg, buffered) = match waited {
             Ok(m) => (m, true),
-            Err(done) => (done.wait().await?, false),
+            Err(done) => {
+                let res = done.wait().await;
+                // The wait ended either at delivery or at the deadline;
+                // both are blocked time.
+                self.trace_span("blocked", "recv", t0);
+                (res?, false)
+            }
         };
         // Receiver software overhead; an unexpected (buffered) message
         // also pays the system-buffer copy — the reason NX programmers
         // preposted their receives.
-        let c = {
+        let (c, t1) = {
             let mut core = self.core.borrow_mut();
             let mut ov = core.cfg.net.recv_overhead;
             if buffered {
                 ov += Dur::from_secs_f64(msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw);
             }
-            core.timer(ov)
+            let t1 = core.q.now();
+            (core.timer(ov), t1)
         };
         c.wait().await;
+        self.trace_span("recv", "recv", t1);
         Ok(msg)
     }
 
@@ -697,7 +833,7 @@ impl Node {
     /// An active slowdown fault on the node stretches the cost; the
     /// factor-1.0 path is taken untouched so fault-free timing is exact.
     pub async fn compute(&self, kernel: Kernel, flops: f64) {
-        let c = {
+        let (c, t0) = {
             let mut core = self.core.borrow_mut();
             let mut d = core.cfg.node.compute_time(kernel, flops);
             let factor = core.slow_factor(self.rank);
@@ -706,15 +842,37 @@ impl Node {
             }
             core.counters.flops += flops;
             core.counters.compute_time += d;
-            core.timer(d)
+            let t0 = core.q.now();
+            (core.timer(d), t0)
         };
         c.wait().await;
+        self.trace_span("compute", kernel_label(kernel), t0);
     }
 
     /// Advance virtual time by an explicit duration (I/O, OS, modelling).
     pub async fn delay(&self, d: Dur) {
-        let c = self.core.borrow_mut().timer(d);
+        let (c, t0) = {
+            let mut core = self.core.borrow_mut();
+            let t0 = core.q.now();
+            (core.timer(d), t0)
+        };
         c.wait().await;
+        self.trace_span("delay", "delay", t0);
+    }
+}
+
+/// Static trace label for a compute kernel (no per-span allocation).
+fn kernel_label(k: Kernel) -> &'static str {
+    match k {
+        Kernel::Dgemm => "dgemm",
+        Kernel::Daxpy => "daxpy",
+        Kernel::Dtrsm => "dtrsm",
+        Kernel::Panel => "panel",
+        Kernel::Stencil => "stencil",
+        Kernel::Spmv => "spmv",
+        Kernel::Fft => "fft",
+        Kernel::Nbody => "nbody",
+        Kernel::Scalar => "scalar",
     }
 }
 
@@ -755,20 +913,28 @@ impl RecvRequest {
     /// Block until the message is in, then charge the receive overhead
     /// (plus the buffer copy when the message pre-dated the post).
     pub async fn wait(self) -> Msg {
+        let t0 = self.node.now();
         let msg = match self.done.wait().await {
             Ok(msg) => msg,
             // irecv posts no deadline, so only a Deliver fulfils it.
             Err(e) => unreachable!("irecv cannot fail: {e}"),
         };
-        let c = {
+        let (c, t1) = {
             let mut core = self.node.core.borrow_mut();
             let mut ov = core.cfg.net.recv_overhead;
             if self.buffered {
                 ov += Dur::from_secs_f64(msg.payload.len_bytes() as f64 / core.cfg.node.mem_bw);
             }
-            core.timer(ov)
+            let t1 = core.q.now();
+            (core.timer(ov), t1)
         };
+        if t1 > t0 {
+            // Only the tail of the wait that actually parked the task is
+            // blocked time (an already-fulfilled request costs nothing).
+            self.node.trace_span("blocked", "irecv", t0);
+        }
         c.wait().await;
+        self.node.trace_span("recv", "recv", t1);
         msg
     }
 }
@@ -855,9 +1021,41 @@ impl Machine {
         F: Fn(Node) -> Fut,
         Fut: Future<Output = T> + 'static,
     {
+        self.run_recorded(plan, Rc::new(NullRecorder), program)
+    }
+
+    /// Run one program per node under a [`FaultPlan`] with a trace
+    /// recorder attached. The recorder is a pure observer — with a
+    /// disabled recorder this is exactly [`Machine::run_with_faults`]
+    /// (which routes through here with a [`NullRecorder`]); with an
+    /// enabled one, every node gets a trace track of its
+    /// compute/send/recv/blocked/delay intervals, every channel a track
+    /// of its occupancy windows, faults and retries land as instants,
+    /// and the dispatch loop samples event-queue/executor depth onto a
+    /// "des" track.
+    pub fn run_recorded<T, F, Fut>(
+        &self,
+        plan: &FaultPlan,
+        rec: Rc<dyn Recorder>,
+        program: F,
+    ) -> (Vec<Option<T>>, RunReport)
+    where
+        T: 'static,
+        F: Fn(Node) -> Fut,
+        Fut: Future<Output = T> + 'static,
+    {
         let n = self.cfg.nodes();
         let nlinks = self.cfg.topology.links();
-        let core = Rc::new(RefCell::new(SimCore::new(Rc::clone(&self.cfg))));
+        let rec_on = rec.is_enabled();
+        let des_track = if rec_on {
+            rec.track(names::DES, "executor")
+        } else {
+            0
+        };
+        let core = Rc::new(RefCell::new(SimCore::new(
+            Rc::clone(&self.cfg),
+            Rc::clone(&rec),
+        )));
         let mut tasks = Tasks::new();
         let results: Rc<RefCell<Vec<Option<T>>>> =
             Rc::new(RefCell::new((0..n).map(|_| None).collect()));
@@ -906,6 +1104,11 @@ impl Machine {
             tasks.abort(task_of_rank[node]);
         }
         tasks.run_ready();
+        // Sample executor/event-queue depth every `SAMPLE_EVERY` dispatch
+        // iterations — frequent enough to see backlog build-up, sparse
+        // enough not to dominate the trace.
+        const SAMPLE_EVERY: u64 = 64;
+        let mut dispatches: u64 = 0;
         while !tasks.all_done() {
             let ev = core.borrow_mut().q.pop();
             match ev {
@@ -948,6 +1151,17 @@ impl Machine {
                         tasks.live(),
                         stuck.join("\n")
                     );
+                }
+            }
+            if rec_on {
+                dispatches += 1;
+                if dispatches.is_multiple_of(SAMPLE_EVERY) {
+                    let c = core.borrow();
+                    let ts = c.q.now().nanos();
+                    rec.counter(des_track, "event_queue_depth", ts, c.q.len() as f64);
+                    rec.counter(des_track, "ready_tasks", ts, tasks.ready_len() as f64);
+                    rec.counter(des_track, "live_tasks", ts, tasks.live() as f64);
+                    rec.counter(des_track, "task_polls", ts, tasks.polls() as f64);
                 }
             }
             tasks.run_ready();
@@ -1624,6 +1838,123 @@ mod tests {
         assert_eq!(run(1234), run(1234), "same seed, same trace");
         let (_, _, _, faults) = run(1234);
         assert!(faults.any(), "the plan actually injected something");
+    }
+
+    #[test]
+    fn recorded_run_is_bit_identical_and_breakdown_sums_to_elapsed() {
+        let program = |node: Node| async move {
+            let n = node.nranks();
+            let next = (node.rank() + 1) % n;
+            let prev = (node.rank() + n - 1) % n;
+            for round in 0..4u64 {
+                node.send_virtual(next, round, 4096).await;
+                node.recv(Some(prev), Some(round)).await;
+                node.compute(Kernel::Dgemm, 1e7).await;
+                node.delay(Dur::from_micros(3)).await;
+            }
+            node.now()
+        };
+        let m = Machine::new(presets::delta(2, 3));
+        let (out_plain, plain) = m.run(program);
+        let rec = Rc::new(hpcc_trace::MemRecorder::new());
+        let (out_rec, recd) = m.run_recorded(&FaultPlan::none(), rec.clone(), program);
+
+        assert_eq!(
+            out_plain,
+            out_rec.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+        );
+        assert_eq!(plain.elapsed, recd.elapsed);
+        assert_eq!(plain.events, recd.events);
+        assert_eq!(plain.messages, recd.messages);
+        assert!(!rec.is_empty(), "recording produced events");
+
+        // Acceptance: each node's busy-time breakdown (plus idle) sums to
+        // total sim time. Everything is integer nanoseconds, so "within
+        // 1e-9 seconds" is exact equality here.
+        let rows = rec.node_breakdown(recd.elapsed.nanos());
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert_eq!(row.total_ns(), recd.elapsed.nanos());
+            assert!(row.compute_ns > 0, "{} computed", row.thread);
+        }
+    }
+
+    #[test]
+    fn recorded_faulted_run_matches_unrecorded() {
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::from_secs_f64(0.0005),
+            FaultKind::NodeCrash { node: 2 },
+        );
+        let program = |node: Node| async move {
+            let n = node.nranks();
+            for round in 0..10u64 {
+                let next = (node.rank() + 1) % n;
+                node.send(next, round, Payload::Virtual(2048)).await;
+                if node
+                    .recv_timeout(None, Some(round), Dur::from_millis(2))
+                    .await
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            node.now()
+        };
+        let m = Machine::new(presets::delta(2, 2));
+        let (out_a, a) = m.run_with_faults(&plan, program);
+        let rec = Rc::new(hpcc_trace::MemRecorder::new());
+        let (out_b, b) = m.run_recorded(&plan, rec.clone(), program);
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.faults, b.faults);
+        // The crash and the timeouts show up as trace instants.
+        let instants: Vec<String> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                hpcc_trace::Event::Instant { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(instants.iter().any(|n| n == "crash"));
+        assert!(instants.iter().any(|n| n == "timeout"));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(16))]
+        /// Property: attaching a recorder never perturbs the simulation —
+        /// sim time, event count, and message count are bit-identical for
+        /// any machine shape and message size.
+        fn recorded_run_never_perturbs_simulation(
+            rows in 1..3usize,
+            cols in 2..5usize,
+            kb in 1..64u64,
+        ) {
+            let program = move |node: Node| async move {
+                let n = node.nranks();
+                let next = (node.rank() + 1) % n;
+                let prev = (node.rank() + n - 1) % n;
+                node.send_virtual(next, 1, kb * 1024).await;
+                node.recv(Some(prev), Some(1)).await;
+                node.compute(Kernel::Stencil, 1e6).await;
+                node.now()
+            };
+            let m = Machine::new(presets::delta(rows, cols));
+            let (out_a, a) = m.run(program);
+            let rec = Rc::new(hpcc_trace::MemRecorder::new());
+            let (out_b, b) = m.run_recorded(&FaultPlan::none(), rec.clone(), program);
+            proptest::prop_assert_eq!(
+                out_a,
+                out_b.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+            );
+            proptest::prop_assert_eq!(a.elapsed, b.elapsed);
+            proptest::prop_assert_eq!(a.events, b.events);
+            proptest::prop_assert_eq!(a.messages, b.messages);
+            proptest::prop_assert_eq!(a.bytes, b.bytes);
+            proptest::prop_assert!(!rec.is_empty());
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::graph::{Net, Route};
 use crate::link::SiteId;
 use des::time::{Dur, SimTime};
+use hpcc_trace::{names, NullRecorder, Recorder, TrackId};
 use std::fmt;
 
 /// One requested transfer.
@@ -352,10 +353,57 @@ impl<'a> FlowSim<'a> {
     /// pinned, as 1992 static routing did.
     pub fn run_with_faults(
         &self,
-        mut specs: Vec<TransferSpec>,
+        specs: Vec<TransferSpec>,
         faults: &[LinkFault],
     ) -> Result<(Vec<FlowOutcome>, NetStats), FlowError> {
+        self.run_with_faults_recorded(specs, faults, &NullRecorder)
+    }
+
+    /// [`FlowSim::run_with_faults`] under a [`Recorder`]: each flow gets a
+    /// lifecycle track ("wan flows"), each directed link a rate-counter
+    /// track ("wan links"). The recorder observes timestamps the solver
+    /// already computed, so recorded runs are bit-identical to plain ones.
+    pub fn run_with_faults_recorded(
+        &self,
+        mut specs: Vec<TransferSpec>,
+        faults: &[LinkFault],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<FlowOutcome>, NetStats), FlowError> {
         self.check(&specs)?;
+        let rec_on = rec.is_enabled();
+        let flow_track: Vec<TrackId> = if rec_on {
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    rec.track(
+                        names::WAN_FLOWS,
+                        &format!(
+                            "flow {i} {}->{}",
+                            self.net.name(s.src),
+                            self.net.name(s.dst)
+                        ),
+                    )
+                })
+                .collect()
+        } else {
+            vec![0; specs.len()]
+        };
+        let link_track: Vec<TrackId> = if rec_on {
+            (0..self.net.dir_links())
+                .map(|d| {
+                    let l = &self.net.links()[d / 2];
+                    let (from, to) = if d % 2 == 0 { (l.a, l.b) } else { (l.b, l.a) };
+                    rec.track(
+                        names::WAN_LINKS,
+                        &format!("{}->{}", self.net.name(from), self.net.name(to)),
+                    )
+                })
+                .collect()
+        } else {
+            vec![0; self.net.dir_links()]
+        };
+        let mut last_rate = vec![0.0f64; self.net.dir_links()];
         let mut trans: Vec<Transition> = Vec::with_capacity(2 * faults.len());
         for f in faults {
             assert!(f.link < self.net.links().len(), "fault on link {}", f.link);
@@ -465,6 +513,10 @@ impl<'a> FlowSim<'a> {
                             down_count[tr.link] -= 1;
                             down[tr.link] = down_count[tr.link] > 0;
                         }
+                        if rec_on {
+                            let name = if tr.down { "down" } else { "up" };
+                            rec.instant(link_track[2 * tr.link], "fault", name, now.nanos());
+                        }
                         if tr.down {
                             // Re-route live flows off the dead link; park
                             // the ones the outage partitions.
@@ -479,10 +531,26 @@ impl<'a> FlowSim<'a> {
                                     Some(route) => {
                                         active[i].cap = window_cap(spec, &route);
                                         active[i].route = route;
+                                        if rec_on {
+                                            rec.instant(
+                                                flow_track[active[i].id],
+                                                "fault",
+                                                "reroute",
+                                                now.nanos(),
+                                            );
+                                        }
                                         i += 1;
                                     }
                                     None => {
                                         let f = active.swap_remove(i);
+                                        if rec_on {
+                                            rec.instant(
+                                                flow_track[f.id],
+                                                "fault",
+                                                "parked",
+                                                now.nanos(),
+                                            );
+                                        }
                                         parked.push(Parked {
                                             id: f.id,
                                             remaining: f.remaining,
@@ -500,6 +568,21 @@ impl<'a> FlowSim<'a> {
                                 match self.net.route_avoiding(spec.src, spec.dst, &down) {
                                     Some(route) => {
                                         let p = parked.remove(i);
+                                        if rec_on {
+                                            rec.span(
+                                                flow_track[p.id],
+                                                "parked",
+                                                "parked",
+                                                p.since.nanos(),
+                                                now.nanos(),
+                                            );
+                                            rec.instant(
+                                                flow_track[p.id],
+                                                "fault",
+                                                "revive",
+                                                now.nanos(),
+                                            );
+                                        }
                                         active.push(Active {
                                             id: p.id,
                                             cap: window_cap(spec, &route),
@@ -522,6 +605,9 @@ impl<'a> FlowSim<'a> {
                         let spec = &specs[id];
                         match self.net.route_avoiding(spec.src, spec.dst, &down) {
                             Some(route) => {
+                                if rec_on {
+                                    rec.instant(flow_track[id], "fault", "start", now.nanos());
+                                }
                                 active.push(Active {
                                     id,
                                     cap: window_cap(spec, &route),
@@ -531,12 +617,17 @@ impl<'a> FlowSim<'a> {
                                     started: now,
                                 });
                             }
-                            None => parked.push(Parked {
-                                id,
-                                remaining: spec.bytes as f64,
-                                started: None,
-                                since: now,
-                            }),
+                            None => {
+                                if rec_on {
+                                    rec.instant(flow_track[id], "fault", "parked", now.nanos());
+                                }
+                                parked.push(Parked {
+                                    id,
+                                    remaining: spec.bytes as f64,
+                                    started: None,
+                                    since: now,
+                                });
+                            }
                         }
                     }
                 }
@@ -558,6 +649,15 @@ impl<'a> FlowSim<'a> {
                                 finished: now + f.route.latency,
                                 spec,
                             });
+                            if rec_on {
+                                rec.span(
+                                    flow_track[f.id],
+                                    "flow",
+                                    "xfer",
+                                    f.started.nanos(),
+                                    (now + f.route.latency).nanos(),
+                                );
+                            }
                         } else {
                             i += 1;
                         }
@@ -577,6 +677,22 @@ impl<'a> FlowSim<'a> {
                     f.rate = r;
                 }
             }
+            // Sample per-link aggregate rate whenever the allocation
+            // changed: Perfetto renders these as step counters.
+            if rec_on {
+                let mut agg = vec![0.0f64; self.net.dir_links()];
+                for f in &active {
+                    for &d in &f.route.dirs {
+                        agg[d] += f.rate;
+                    }
+                }
+                for (d, (&a, last)) in agg.iter().zip(&mut last_rate).enumerate() {
+                    if (a - *last).abs() > 1e-6 {
+                        rec.counter(link_track[d], "rate_mbps", now.nanos(), a / 1e6);
+                        *last = a;
+                    }
+                }
+            }
         }
         let makespan = records
             .iter()
@@ -594,6 +710,9 @@ impl<'a> FlowSim<'a> {
                         .iter()
                         .find(|p| p.id == id)
                         .expect("unfinished flow is parked");
+                    if rec_on {
+                        rec.instant(flow_track[id], "fault", "stalled", p.since.nanos());
+                    }
                     FlowOutcome::Stalled {
                         spec: specs[id].clone(),
                         started: p.started,
@@ -965,6 +1084,61 @@ mod tests {
                 }
                 _ => panic!("outcome kinds diverged"),
             }
+        }
+    }
+
+    #[test]
+    fn recorded_flows_are_bit_identical_and_emit_lifecycle() {
+        use hpcc_trace::{Event, MemRecorder};
+        let (net, a, b, c, d) = dumbbell();
+        let sim = FlowSim::new(&net);
+        let specs = vec![
+            TransferSpec::new(a, c, 5_000_000, SimTime::ZERO),
+            TransferSpec::new(b, d, 5_000_000, SimTime::from_secs_f64(3.0)),
+        ];
+        // Backbone outage + repair mid-run: reroute is impossible on the
+        // dumbbell, so flow 0 parks and revives.
+        let faults = [LinkFault {
+            link: 4,
+            down_at: SimTime::from_secs_f64(2.0),
+            up_at: SimTime::from_secs_f64(6.0),
+        }];
+        let (plain, stats_p) = sim.run_with_faults(specs.clone(), &faults).unwrap();
+        let rec = MemRecorder::new();
+        let (traced, stats_t) = sim.run_with_faults_recorded(specs, &faults, &rec).unwrap();
+        assert_eq!(stats_p.makespan, stats_t.makespan);
+        assert_eq!(stats_p.carried, stats_t.carried);
+        for (x, y) in plain.iter().zip(&traced) {
+            match (x, y) {
+                (FlowOutcome::Completed(p), FlowOutcome::Completed(q)) => {
+                    assert_eq!(p.started, q.started);
+                    assert_eq!(p.finished, q.finished);
+                }
+                _ => panic!("outcome kinds diverged"),
+            }
+        }
+        // One lifecycle span per completed flow; a parked span for the
+        // partition interval; rate counters on the backbone.
+        let (mut xfers, mut parked_spans, mut counters) = (0usize, 0usize, 0usize);
+        let mut instants: Vec<String> = Vec::new();
+        rec.with(|_, events| {
+            for e in events {
+                match e {
+                    Event::Span { name, .. } if name == "xfer" => xfers += 1,
+                    Event::Span { name, .. } if name == "parked" => parked_spans += 1,
+                    Event::Instant { name, .. } => instants.push(name.clone()),
+                    Event::Counter { .. } => counters += 1,
+                    _ => {}
+                }
+            }
+        });
+        assert_eq!(xfers, 2);
+        // Flow 0 parks mid-flight; flow 1 arrives during the outage and
+        // parks on arrival — both revive at the repair.
+        assert_eq!(parked_spans, 2, "both flows parked across the outage");
+        assert!(counters > 0, "rate counters sampled");
+        for want in ["start", "down", "up", "parked", "revive"] {
+            assert!(instants.iter().any(|n| n == want), "missing instant {want}");
         }
     }
 

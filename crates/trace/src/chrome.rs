@@ -1,0 +1,275 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Emits the "JSON object format" (`{"traceEvents": [...]}`) understood by
+//! Perfetto and `chrome://tracing`. Each recorded process becomes a Chrome
+//! pid, each track a tid, so every mesh node and every channel renders as
+//! its own row. Spans are complete events (`ph:"X"`), instants `ph:"i"`,
+//! counters `ph:"C"`; `process_name` / `thread_name` metadata events label
+//! the rows.
+//!
+//! Timestamps are microseconds. Simulator times are exact integer
+//! nanoseconds, so they are written as exact decimals (`ns/1000` with a
+//! three-digit fraction) rather than routed through floating point. Events
+//! are sorted by (pid, tid, ts), which makes per-track timestamps
+//! monotonically non-decreasing — the property the golden test and the CI
+//! check assert.
+
+use crate::{Event, MemRecorder, Track, TrackId};
+
+impl MemRecorder {
+    /// Serialize the buffered trace to Chrome `trace_event` JSON.
+    pub fn to_chrome_json(&self) -> String {
+        self.with(export)
+    }
+}
+
+/// pid/tid assignment for one track: pids number distinct process names in
+/// first-appearance order, tids number tracks within their process.
+fn layout(tracks: &[Track]) -> Vec<(u32, u32)> {
+    let mut processes: Vec<&str> = Vec::new();
+    let mut per_process_tids: Vec<u32> = Vec::new();
+    let mut out = Vec::with_capacity(tracks.len());
+    for t in tracks {
+        let pidx = match processes.iter().position(|p| *p == t.process) {
+            Some(i) => i,
+            None => {
+                processes.push(&t.process);
+                per_process_tids.push(0);
+                processes.len() - 1
+            }
+        };
+        per_process_tids[pidx] += 1;
+        out.push((pidx as u32 + 1, per_process_tids[pidx]));
+    }
+    out
+}
+
+fn export(tracks: &[Track], events: &[Event]) -> String {
+    let ids = layout(tracks);
+    let mut out = String::with_capacity(128 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&s);
+    };
+
+    // Metadata: name each process once, each thread (track) once.
+    let mut named_pids: Vec<u32> = Vec::new();
+    for (track, &(pid, tid)) in tracks.iter().zip(&ids) {
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    quote(&track.process)
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                quote(&track.thread)
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    // Sort events by (pid, tid, ts); the sort is stable, so simultaneous
+    // events keep emission order.
+    let mut ordered: Vec<&Event> = events.iter().collect();
+    ordered.sort_by_key(|e| {
+        let (pid, tid) = id_of(e.track(), &ids);
+        (pid, tid, e.ts_ns())
+    });
+
+    for e in ordered {
+        let (pid, tid) = id_of(e.track(), &ids);
+        let rec = match e {
+            Event::Span {
+                cat,
+                name,
+                start_ns,
+                end_ns,
+                ..
+            } => format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                 \"cat\":{},\"name\":{}}}",
+                us(*start_ns),
+                us(end_ns - start_ns),
+                quote(cat),
+                quote(name)
+            ),
+            Event::Instant {
+                cat, name, at_ns, ..
+            } => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\
+                 \"cat\":{},\"name\":{}}}",
+                us(*at_ns),
+                quote(cat),
+                quote(name)
+            ),
+            Event::Counter {
+                name, at_ns, value, ..
+            } => format!(
+                "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":{},\
+                 \"args\":{{\"value\":{}}}}}",
+                us(*at_ns),
+                quote(name),
+                num(*value)
+            ),
+        };
+        push(rec, &mut out, &mut first);
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn id_of(track: TrackId, ids: &[(u32, u32)]) -> (u32, u32) {
+    // Events on unregistered tracks (disabled-recorder dummy id) land on a
+    // synthetic (0, 0) row rather than panicking.
+    ids.get(track as usize).copied().unwrap_or((0, 0))
+}
+
+/// Exact microsecond rendering of an integer nanosecond count.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Finite JSON number; non-finite samples are clamped to 0.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// JSON string literal with escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::Recorder;
+
+    fn sample_recorder() -> MemRecorder {
+        let r = MemRecorder::new();
+        let n0 = r.track("mesh nodes", "node 0");
+        let n1 = r.track("mesh nodes", "node 1");
+        let l0 = r.track("mesh links", "link 0 \"east\"");
+        // Deliberately out of order per track: the exporter must sort.
+        r.span(n0, "compute", "dgemm", 2_500, 4_000);
+        r.span(n0, "send", "send->1", 1_000, 1_250);
+        r.instant(n1, "fault", "crash", 3_000);
+        r.span(n1, "blocked", "recv", 500, 3_000);
+        r.counter(l0, "occupancy", 2_000, 1.0);
+        r.counter(l0, "occupancy", 1_500, 0.0);
+        r
+    }
+
+    /// Golden test: the export is valid JSON and per-track `ts` values are
+    /// monotonically non-decreasing.
+    #[test]
+    fn chrome_export_is_valid_json_with_monotonic_ts_per_track() {
+        let json = sample_recorder().to_chrome_json();
+        let doc = parse(&json).expect("exporter must emit valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut last_ts: std::collections::HashMap<(u64, u64), f64> = Default::default();
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+            assert!(matches!(ph, "X" | "i" | "C" | "M"), "unexpected ph {ph}");
+            if ph == "M" {
+                continue;
+            }
+            let pid = e.get("pid").and_then(Json::as_f64).unwrap() as u64;
+            let tid = e.get("tid").and_then(Json::as_f64).unwrap() as u64;
+            let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+            let prev = last_ts.insert((pid, tid), ts);
+            if let Some(prev) = prev {
+                assert!(
+                    ts >= prev,
+                    "ts regressed on track ({pid},{tid}): {prev} -> {ts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_export_names_every_track() {
+        let json = sample_recorder().to_chrome_json();
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(thread_names, ["node 0", "node 1", "link 0 \"east\""]);
+        let process_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(process_names, ["mesh nodes", "mesh links"]);
+    }
+
+    #[test]
+    fn timestamps_are_exact_microsecond_decimals() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000), "1.000");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_json() {
+        let r = MemRecorder::new();
+        let doc = parse(&r.to_chrome_json()).unwrap();
+        assert_eq!(
+            doc.get("traceEvents").and_then(Json::as_arr).unwrap().len(),
+            0
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! `hpcc-trace` — structured tracing & metrics for the HPCC simulators.
+//!
+//! The simulators (the Delta mesh, the NREN flow model, the scheduler) and
+//! the host kernels emit *spans* (an interval on a track), *instants*
+//! (a point event) and *counters* (a sampled value) through the [`Recorder`]
+//! trait. Two recorders ship here:
+//!
+//! * [`NullRecorder`] — every hook is a no-op behind a single `is_enabled()`
+//!   branch. All pre-existing entry points route through it, so an
+//!   uninstrumented run is bit-identical to the pre-trace code: the recorder
+//!   only *observes* timestamps the simulator already computed; it never
+//!   schedules events, draws randomness, or touches simulator state.
+//! * [`MemRecorder`] — buffers everything in memory, then exports either a
+//!   Chrome `trace_event` JSON ([`MemRecorder::to_chrome_json`], loadable in
+//!   Perfetto / `chrome://tracing`, one track per mesh node and link) or a
+//!   plain-text metrics summary ([`MemRecorder::metrics_summary`]: p50/p99
+//!   latency histograms, top-k hottest links, per-node blocked-time
+//!   breakdown).
+//!
+//! A *track* is a (process, thread) pair — e.g. `("mesh nodes", "node 12")`
+//! — and maps onto a Chrome pid/tid so each mesh node and each channel gets
+//! its own row in the viewer. Track-name conventions used by the simulators
+//! live in [`names`]; the summary exporter keys off them.
+//!
+//! Simulator timestamps are exact integer nanoseconds of virtual time.
+//! Host-kernel tracks ([`WallTrack`]) use real wall-clock nanoseconds from a
+//! per-track origin instead; both kinds coexist in one trace as separate
+//! processes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+pub mod chrome;
+pub mod json;
+pub mod summary;
+
+pub use summary::NodeBreakdown;
+
+/// Handle for one (process, thread) row. Dense, allocated by the recorder.
+pub type TrackId = u32;
+
+/// Sink for trace events. Object-safe so simulators can hold
+/// `Rc<dyn Recorder>` without being generic over the sink.
+///
+/// Contract: implementations must be pure observers — no panics, no
+/// interaction with simulation state. Callers should gate any allocation
+/// needed to *format* an event name on [`Recorder::is_enabled`].
+pub trait Recorder {
+    /// Fast path: when `false`, callers skip all event construction.
+    fn is_enabled(&self) -> bool;
+
+    /// Intern a (process, thread) pair; returns the same id for the same
+    /// pair. Disabled recorders return a dummy id.
+    fn track(&self, process: &str, thread: &str) -> TrackId;
+
+    /// A closed interval `[start_ns, end_ns]` on a track.
+    fn span(&self, track: TrackId, cat: &'static str, name: &str, start_ns: u64, end_ns: u64);
+
+    /// A point event.
+    fn instant(&self, track: TrackId, cat: &'static str, name: &str, at_ns: u64);
+
+    /// A sampled counter value.
+    fn counter(&self, track: TrackId, name: &'static str, at_ns: u64, value: f64);
+}
+
+/// The default sink: discards everything, reports disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+    fn track(&self, _process: &str, _thread: &str) -> TrackId {
+        0
+    }
+    fn span(&self, _t: TrackId, _c: &'static str, _n: &str, _s: u64, _e: u64) {}
+    fn instant(&self, _t: TrackId, _c: &'static str, _n: &str, _a: u64) {}
+    fn counter(&self, _t: TrackId, _n: &'static str, _a: u64, _v: f64) {}
+}
+
+/// Track-name conventions shared by the instrumented simulators and the
+/// summary exporter. Process names group tracks into Chrome "processes".
+pub mod names {
+    /// One track per mesh node; spans are compute/send/recv/blocked/delay.
+    pub const MESH_NODES: &str = "mesh nodes";
+    /// One track per mesh channel; spans are message occupancy windows.
+    pub const MESH_LINKS: &str = "mesh links";
+    /// Event-queue / executor counters sampled from the dispatch loop.
+    pub const DES: &str = "des";
+    /// One track per scheduler job; spans are wait/run/killed.
+    pub const SCHED: &str = "sched";
+    /// One track per WAN flow; spans are the transfer lifetime.
+    pub const WAN_FLOWS: &str = "wan flows";
+    /// One track per directed WAN link; counters are allocated rate.
+    pub const WAN_LINKS: &str = "wan links";
+    /// Host-side kernel tracks (wall-clock time base).
+    pub const HOST: &str = "host";
+}
+
+/// One buffered event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Interval `[start_ns, end_ns]` on `track`.
+    Span {
+        track: TrackId,
+        cat: &'static str,
+        name: String,
+        start_ns: u64,
+        end_ns: u64,
+    },
+    /// Point event on `track`.
+    Instant {
+        track: TrackId,
+        cat: &'static str,
+        name: String,
+        at_ns: u64,
+    },
+    /// Counter sample on `track`.
+    Counter {
+        track: TrackId,
+        name: &'static str,
+        at_ns: u64,
+        value: f64,
+    },
+}
+
+impl Event {
+    /// Timestamp the event sorts by within its track (span start).
+    pub fn ts_ns(&self) -> u64 {
+        match *self {
+            Event::Span { start_ns, .. } => start_ns,
+            Event::Instant { at_ns, .. } => at_ns,
+            Event::Counter { at_ns, .. } => at_ns,
+        }
+    }
+
+    /// Track the event belongs to.
+    pub fn track(&self) -> TrackId {
+        match *self {
+            Event::Span { track, .. } => track,
+            Event::Instant { track, .. } => track,
+            Event::Counter { track, .. } => track,
+        }
+    }
+}
+
+/// A registered (process, thread) row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Track {
+    pub process: String,
+    pub thread: String,
+}
+
+#[derive(Default)]
+struct MemInner {
+    tracks: Vec<Track>,
+    index: HashMap<(String, String), TrackId>,
+    events: Vec<Event>,
+}
+
+/// In-memory recorder. Interior mutability so the simulators can share it
+/// as `Rc<MemRecorder>` coerced to `Rc<dyn Recorder>`.
+#[derive(Default)]
+pub struct MemRecorder {
+    inner: RefCell<MemInner>,
+}
+
+impl MemRecorder {
+    pub fn new() -> MemRecorder {
+        MemRecorder::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of registered tracks.
+    pub fn track_count(&self) -> usize {
+        self.inner.borrow().tracks.len()
+    }
+
+    /// Snapshot of the registered tracks, in registration (id) order.
+    pub fn tracks(&self) -> Vec<Track> {
+        self.inner.borrow().tracks.clone()
+    }
+
+    /// Snapshot of the buffered events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Run `f` over the buffered state without cloning it.
+    pub fn with<R>(&self, f: impl FnOnce(&[Track], &[Event]) -> R) -> R {
+        let inner = self.inner.borrow();
+        f(&inner.tracks, &inner.events)
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn track(&self, process: &str, thread: &str) -> TrackId {
+        let mut inner = self.inner.borrow_mut();
+        let key = (process.to_string(), thread.to_string());
+        if let Some(&id) = inner.index.get(&key) {
+            return id;
+        }
+        let id = inner.tracks.len() as TrackId;
+        inner.tracks.push(Track {
+            process: key.0.clone(),
+            thread: key.1.clone(),
+        });
+        inner.index.insert(key, id);
+        id
+    }
+
+    fn span(&self, track: TrackId, cat: &'static str, name: &str, start_ns: u64, end_ns: u64) {
+        debug_assert!(start_ns <= end_ns, "span ends before it starts");
+        self.inner.borrow_mut().events.push(Event::Span {
+            track,
+            cat,
+            name: name.to_string(),
+            start_ns,
+            end_ns,
+        });
+    }
+
+    fn instant(&self, track: TrackId, cat: &'static str, name: &str, at_ns: u64) {
+        self.inner.borrow_mut().events.push(Event::Instant {
+            track,
+            cat,
+            name: name.to_string(),
+            at_ns,
+        });
+    }
+
+    fn counter(&self, track: TrackId, name: &'static str, at_ns: u64, value: f64) {
+        self.inner.borrow_mut().events.push(Event::Counter {
+            track,
+            name,
+            at_ns,
+            value,
+        });
+    }
+}
+
+/// Wall-clock track for host-side kernels: anchors `std::time::Instant`
+/// elapsed nanoseconds to a trace track. When the recorder is disabled the
+/// clock is never read, so the traced kernel variants cost one branch.
+pub struct WallTrack<'a> {
+    rec: &'a dyn Recorder,
+    track: TrackId,
+    enabled: bool,
+    origin: std::time::Instant,
+}
+
+impl<'a> WallTrack<'a> {
+    /// Create (or reuse) the track `(process, thread)` on `rec`.
+    pub fn new(rec: &'a dyn Recorder, process: &str, thread: &str) -> WallTrack<'a> {
+        let enabled = rec.is_enabled();
+        let track = if enabled {
+            rec.track(process, thread)
+        } else {
+            0
+        };
+        WallTrack {
+            rec,
+            track,
+            enabled,
+            origin: std::time::Instant::now(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Wall-clock nanoseconds since this track's origin (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Emit a span from `start_ns` (a prior [`WallTrack::now_ns`]) to now.
+    pub fn span_from(&self, cat: &'static str, name: &str, start_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let end = self.now_ns().max(start_ns);
+        self.rec.span(self.track, cat, name, start_ns, end);
+    }
+
+    /// Emit a counter sample stamped now.
+    pub fn counter(&self, name: &'static str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.rec.counter(self.track, name, self.now_ns(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let r = NullRecorder;
+        assert!(!r.is_enabled());
+        assert_eq!(r.track("p", "t"), 0);
+        r.span(0, "c", "n", 0, 1);
+        r.instant(0, "c", "n", 0);
+        r.counter(0, "n", 0, 1.0);
+    }
+
+    #[test]
+    fn mem_recorder_interns_tracks() {
+        let r = MemRecorder::new();
+        let a = r.track("mesh nodes", "node 0");
+        let b = r.track("mesh nodes", "node 1");
+        let a2 = r.track("mesh nodes", "node 0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.track_count(), 2);
+        assert_eq!(r.tracks()[a as usize].thread, "node 0");
+    }
+
+    #[test]
+    fn mem_recorder_buffers_events_in_order() {
+        let r = MemRecorder::new();
+        let t = r.track("p", "t");
+        r.span(t, "cat", "s", 10, 20);
+        r.instant(t, "cat", "i", 15);
+        r.counter(t, "c", 16, 2.5);
+        let ev = r.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].ts_ns(), 10);
+        assert!(matches!(ev[1], Event::Instant { at_ns: 15, .. }));
+        assert!(matches!(ev[2], Event::Counter { value, .. } if value == 2.5));
+    }
+
+    #[test]
+    fn wall_track_disabled_never_reads_clock() {
+        let r = NullRecorder;
+        let w = WallTrack::new(&r, "host", "gemm");
+        assert!(!w.enabled());
+        assert_eq!(w.now_ns(), 0);
+        w.span_from("phase", "pack_a", 0);
+    }
+
+    #[test]
+    fn wall_track_emits_monotone_spans() {
+        let r = MemRecorder::new();
+        let w = WallTrack::new(&r, "host", "lu");
+        let t0 = w.now_ns();
+        w.span_from("phase", "panel", t0);
+        let ev = r.events();
+        assert_eq!(ev.len(), 1);
+        match &ev[0] {
+            Event::Span {
+                start_ns, end_ns, ..
+            } => assert!(start_ns <= end_ns),
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+}
