@@ -11,7 +11,7 @@
 //! `report all --out <path>` writes the concatenated exhibits to a file
 //! instead of stdout (used to regenerate `report_all.txt`).
 
-use hpcc_bench::{exhibits as ex, perf};
+use hpcc_bench::{desperf, exhibits as ex, perf};
 
 /// Measure the host kernels, print the table, and drop the machine-
 /// readable snapshot next to the working directory.
@@ -22,6 +22,18 @@ fn bench_kernels() -> String {
     match std::fs::write(path, &json) {
         Ok(()) => format!("{}\nwrote {path}", perf::table(&rows)),
         Err(e) => format!("{}\ncould not write {path}: {e}", perf::table(&rows)),
+    }
+}
+
+/// Measure DES engine throughput across mesh sizes and lane counts,
+/// print the table, and drop the machine-readable snapshot.
+fn bench_des(smoke: bool) -> String {
+    let rows = desperf::snapshot(smoke);
+    let json = desperf::json(&rows);
+    let path = "BENCH_des.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => format!("{}\nwrote {path}", desperf::table(&rows)),
+        Err(e) => format!("{}\ncould not write {path}: {e}", desperf::table(&rows)),
     }
 }
 
@@ -58,6 +70,7 @@ fn main() {
             "kernel-profile" => ex::kernel_profile(),
             "timeline" => ex::timeline(),
             "bench-kernels" => bench_kernels(),
+            "bench-des" => bench_des(smoke),
             "index" => ex::index(),
             _ => return None,
         })
@@ -65,7 +78,7 @@ fn main() {
 
     if cmd == "all" {
         // `trace` is excluded (it writes artifact files; same precedent
-        // as `bench-kernels`).
+        // as `bench-kernels` and `bench-des`).
         let mut buf = String::new();
         for name in [
             "index",
@@ -111,7 +124,7 @@ fn main() {
                      linpack-sweep, mpp-series, consortium-net, nren-upgrade, casa, cas, \
                      grand-challenges, fft-scaling, \
                      scheduler, resilience [--smoke], trace [--smoke], ablations, \
-                     kernel-profile, timeline, bench-kernels"
+                     kernel-profile, timeline, bench-kernels, bench-des [--smoke]"
                 );
                 std::process::exit(2);
             }

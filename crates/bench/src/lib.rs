@@ -7,5 +7,6 @@
 //! * `benches/` holds the Criterion groups named in the exhibit registry
 //!   (`hpcc_core::exhibits`).
 
+pub mod desperf;
 pub mod exhibits;
 pub mod perf;

@@ -118,11 +118,39 @@ fn row<F: FnMut()>(kernel: &'static str, n: usize, threads: usize, flops: f64, f
     }
 }
 
+/// Thread counts to sweep for the parallel kernels: powers of two up to
+/// the host's parallelism, always ending at the true maximum. A 1-CPU
+/// host gets `[1]` — an honest single row instead of an unpinned
+/// measurement mislabelled with the default pool size.
+fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut ts = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        ts.push(t);
+        t *= 2;
+    }
+    if *ts.last().unwrap() != max {
+        ts.push(max);
+    }
+    ts
+}
+
 /// Run the snapshot: GEMM at the acceptance size (512) plus a larger
 /// point, LU sequential vs Rayon up to n=2048 (the LINPACK-style
-/// trailing update is where the engine earns its keep).
+/// trailing update is where the engine earns its keep). Each parallel
+/// row pins the Rayon pool to its thread count — the sweep *measures*
+/// parallel speedup instead of assuming the default pool did something.
 pub fn snapshot() -> Vec<PerfRow> {
-    let nt = rayon::current_num_threads();
+    let sweep = thread_sweep();
+    let pool_for = |t: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("thread pool")
+    };
     let mut rows = Vec::new();
 
     for n in [256usize, 512, 1024] {
@@ -138,9 +166,12 @@ pub fn snapshot() -> Vec<PerfRow> {
         rows.push(row("gemm", n, 1, flops, || {
             std::hint::black_box(gemm::gemm(&a, &b));
         }));
-        rows.push(row("gemm_par", n, nt, flops, || {
-            std::hint::black_box(gemm::gemm_par(&a, &b));
-        }));
+        for &t in &sweep {
+            let pool = pool_for(t);
+            rows.push(row("gemm_par", n, t, flops, || {
+                pool.install(|| std::hint::black_box(gemm::gemm_par(&a, &b)));
+            }));
+        }
     }
 
     for n in [512usize, 1024, 2048] {
@@ -157,10 +188,13 @@ pub fn snapshot() -> Vec<PerfRow> {
             let mut f = a.clone();
             std::hint::black_box(lu::lu_factor(&mut f, 64).unwrap());
         }));
-        rows.push(row("lu_factor_par_nb64", n, nt, flops, || {
-            let mut f = a.clone();
-            std::hint::black_box(lu::lu_factor_par(&mut f, 64).unwrap());
-        }));
+        for &t in &sweep {
+            let pool = pool_for(t);
+            rows.push(row("lu_factor_par_nb64", n, t, flops, || {
+                let mut f = a.clone();
+                pool.install(|| std::hint::black_box(lu::lu_factor_par(&mut f, 64).unwrap()));
+            }));
+        }
     }
     rows
 }

@@ -43,6 +43,9 @@ type BoxedTask = Pin<Box<dyn Future<Output = ()> + 'static>>;
 pub struct Tasks {
     slots: Vec<Option<BoxedTask>>,
     ready: Arc<ReadyQueue>,
+    /// Local scratch the ready queue is swapped into once per pass, so
+    /// `run_ready` takes the lock once per batch instead of once per poll.
+    scratch: VecDeque<TaskId>,
     live: usize,
     polls: u64,
 }
@@ -58,6 +61,7 @@ impl Tasks {
         Tasks {
             slots: Vec::new(),
             ready: Arc::new(ReadyQueue::default()),
+            scratch: VecDeque::new(),
             live: 0,
             polls: 0,
         }
@@ -102,14 +106,16 @@ impl Tasks {
     }
 
     /// Abort a live task: drop its future without running it further.
-    /// Returns true if the task was live. Any wakes already queued for
-    /// the id are skipped silently, the same as for a finished task.
-    /// This is how the embedding simulator kills the program of a
+    /// Returns true if the task was live. Stale wakes already queued for
+    /// the id are drained here so later `run_ready` passes never touch
+    /// them. This is how the embedding simulator kills the program of a
     /// crashed node.
     pub fn abort(&mut self, id: TaskId) -> bool {
         match self.slots.get_mut(id).and_then(Option::take) {
             Some(_fut) => {
                 self.live -= 1;
+                self.ready.queue.lock().unwrap().retain(|&q| q != id);
+                self.scratch.retain(|&q| q != id);
                 true
             }
             None => false,
@@ -120,27 +126,165 @@ impl Tasks {
     /// number of polls performed. Tasks woken while running are processed
     /// in the same call (FIFO), so this returns only at a quiescent point
     /// where every live task is parked on a simulator event.
+    ///
+    /// The shared queue is swapped into a local batch once per pass — one
+    /// lock acquisition per batch, not one per poll. Processing a drained
+    /// batch in order and then re-draining preserves the exact global
+    /// FIFO order of the old pop-one-under-the-lock loop.
     pub fn run_ready(&mut self) -> u64 {
         let start = self.polls;
         loop {
-            let next = self.ready.queue.lock().unwrap().pop_front();
-            let Some(id) = next else { break };
-            // A task may be woken after it already finished; skip silently.
-            let Some(mut fut) = self.slots[id].take() else {
-                continue;
-            };
-            let waker = Waker::from(Arc::new(TaskWaker {
-                ready: Arc::clone(&self.ready),
-                id,
-            }));
-            let mut cx = Context::from_waker(&waker);
-            self.polls += 1;
-            match fut.as_mut().poll(&mut cx) {
-                Poll::Ready(()) => {
-                    self.live -= 1;
+            {
+                let mut q = self.ready.queue.lock().unwrap();
+                if q.is_empty() {
+                    break;
                 }
-                Poll::Pending => {
-                    self.slots[id] = Some(fut);
+                std::mem::swap(&mut *q, &mut self.scratch);
+            }
+            while let Some(id) = self.scratch.pop_front() {
+                // A task may be woken after it finished; skip silently.
+                let Some(mut fut) = self.slots[id].take() else {
+                    continue;
+                };
+                let waker = Waker::from(Arc::new(TaskWaker {
+                    ready: Arc::clone(&self.ready),
+                    id,
+                }));
+                let mut cx = Context::from_waker(&waker);
+                self.polls += 1;
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {
+                        self.live -= 1;
+                    }
+                    Poll::Pending => {
+                        self.slots[id] = Some(fut);
+                    }
+                }
+            }
+        }
+        self.polls - start
+    }
+}
+
+/// The per-lane executor of the sharded DES engine: one `LaneTasks` per
+/// event lane, each with its own ready queue, so lanes never contend on a
+/// global `Mutex<VecDeque>`.
+///
+/// Scheduling semantics are identical to [`Tasks`] (FIFO ready queue,
+/// wakes during a pass processed in the same call), so a single lane
+/// running every task executes in exactly the legacy order. The
+/// difference is mechanical: each task's [`Waker`] is built once at spawn
+/// and reused for every poll, where [`Tasks`] allocates a fresh
+/// `Arc<TaskWaker>` per poll — at millions of polls per simulated second
+/// that allocation is a measurable share of the dispatch loop.
+pub struct LaneTasks {
+    slots: Vec<Option<BoxedTask>>,
+    wakers: Vec<Waker>,
+    ready: Arc<ReadyQueue>,
+    scratch: VecDeque<TaskId>,
+    live: usize,
+    polls: u64,
+}
+
+impl Default for LaneTasks {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LaneTasks {
+    pub fn new() -> LaneTasks {
+        LaneTasks {
+            slots: Vec::new(),
+            wakers: Vec::new(),
+            ready: Arc::new(ReadyQueue::default()),
+            scratch: VecDeque::new(),
+            live: 0,
+            polls: 0,
+        }
+    }
+
+    /// A lane pre-sized for `cap` tasks (one per node it owns).
+    pub fn with_capacity(cap: usize) -> LaneTasks {
+        LaneTasks {
+            slots: Vec::with_capacity(cap),
+            wakers: Vec::with_capacity(cap),
+            ready: Arc::new(ReadyQueue::default()),
+            scratch: VecDeque::with_capacity(cap),
+            live: 0,
+            polls: 0,
+        }
+    }
+
+    /// Spawn a task; it will run on the next `run_ready()`. Ids are local
+    /// to this lane.
+    pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let id = self.slots.len();
+        self.slots.push(Some(Box::pin(fut)));
+        self.wakers.push(Waker::from(Arc::new(TaskWaker {
+            ready: Arc::clone(&self.ready),
+            id,
+        })));
+        self.live += 1;
+        self.ready.queue.lock().unwrap().push_back(id);
+        id
+    }
+
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn all_done(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Abort a live task (drop its future unrun) and drain any stale
+    /// wakes queued for it. Returns true if the task was live.
+    pub fn abort(&mut self, id: TaskId) -> bool {
+        match self.slots.get_mut(id).and_then(Option::take) {
+            Some(_fut) => {
+                self.live -= 1;
+                self.ready.queue.lock().unwrap().retain(|&q| q != id);
+                self.scratch.retain(|&q| q != id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Poll every ready task until the lane's ready queue drains, batch-
+    /// swapping the queue once per pass. Same quiescence contract as
+    /// [`Tasks::run_ready`].
+    pub fn run_ready(&mut self) -> u64 {
+        let start = self.polls;
+        loop {
+            {
+                let mut q = self.ready.queue.lock().unwrap();
+                if q.is_empty() {
+                    break;
+                }
+                std::mem::swap(&mut *q, &mut self.scratch);
+            }
+            while let Some(id) = self.scratch.pop_front() {
+                let Some(mut fut) = self.slots[id].take() else {
+                    continue;
+                };
+                let mut cx = Context::from_waker(&self.wakers[id]);
+                self.polls += 1;
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {
+                        self.live -= 1;
+                    }
+                    Poll::Pending => {
+                        self.slots[id] = Some(fut);
+                    }
                 }
             }
         }
@@ -409,6 +553,71 @@ mod tests {
         c.fulfil(());
         tasks.run_ready();
         assert!(!*out.borrow());
+    }
+
+    #[test]
+    fn abort_drains_stale_ready_ids() {
+        // A freshly spawned task's id sits in the ready queue; aborting
+        // it must remove the stale id so the queue is truly empty and a
+        // later pass never polls a dead slot.
+        let mut tasks = Tasks::new();
+        let keep = tasks.spawn(async {});
+        let id = tasks.spawn(async {
+            panic!("aborted task must never run");
+        });
+        assert!(tasks.abort(id));
+        assert_eq!(tasks.ready_len(), 1, "stale id drained on abort");
+        assert_eq!(tasks.run_ready(), 1, "only the surviving task polls");
+        let _ = keep;
+        assert!(tasks.all_done());
+    }
+
+    #[test]
+    fn lane_tasks_execution_order_matches_tasks() {
+        // The lane executor must replay the legacy executor's exact FIFO
+        // interleaving — that equivalence is what keeps a 1-lane sharded
+        // run bit-identical to the legacy engine.
+        let prog = |name: &'static str, l: Rc<RefCell<Vec<String>>>| async move {
+            l.borrow_mut().push(format!("{name}1"));
+            yield_now().await;
+            l.borrow_mut().push(format!("{name}2"));
+            yield_now().await;
+            l.borrow_mut().push(format!("{name}3"));
+        };
+        let log_a = Rc::new(RefCell::new(Vec::new()));
+        let mut legacy = Tasks::new();
+        for name in ["a", "b", "c"] {
+            legacy.spawn(prog(name, Rc::clone(&log_a)));
+        }
+        legacy.run_ready();
+        let log_b = Rc::new(RefCell::new(Vec::new()));
+        let mut lane = LaneTasks::new();
+        for name in ["a", "b", "c"] {
+            lane.spawn(prog(name, Rc::clone(&log_b)));
+        }
+        lane.run_ready();
+        assert_eq!(*log_a.borrow(), *log_b.borrow());
+        assert_eq!(legacy.polls(), lane.polls());
+        assert!(legacy.all_done() && lane.all_done());
+    }
+
+    #[test]
+    fn lane_tasks_abort_and_completion() {
+        let mut lane = LaneTasks::new();
+        let c: Completion<u32> = Completion::new();
+        let out = Rc::new(RefCell::new(0u32));
+        let (c2, o2) = (c.clone(), Rc::clone(&out));
+        let id = lane.spawn(async move {
+            *o2.borrow_mut() = c2.wait().await;
+        });
+        lane.run_ready();
+        assert_eq!(lane.live(), 1, "parked on completion");
+        assert!(lane.abort(id));
+        assert!(lane.all_done());
+        c.fulfil(9); // wake of an aborted task is harmless
+        assert_eq!(lane.run_ready(), 0);
+        assert_eq!(*out.borrow(), 0, "aborted body never ran");
+        assert!(!lane.abort(id), "second abort is a no-op");
     }
 
     #[test]

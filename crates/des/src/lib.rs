@@ -20,7 +20,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use exec::{yield_now, Completion, TaskId, Tasks};
+pub use exec::{yield_now, Completion, LaneTasks, TaskId, Tasks};
 pub use faults::{seed_from_env, FaultEvent, FaultKind, FaultPlan, MtbfModel};
 pub use queue::EventQueue;
 pub use rng::Rng;

@@ -131,6 +131,20 @@ impl<E> EventQueue<E> {
         Some((e.at, e.event))
     }
 
+    /// Pop the earliest event only if it is strictly before `horizon`.
+    ///
+    /// This is the primitive of conservative parallel simulation: a lane
+    /// may safely process every local event below the cross-lane message
+    /// horizon, and must stop there. Events at or past the horizon stay
+    /// queued and the clock does not advance.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? < horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// Drop every pending event (the clock is left where it is).
     pub fn clear(&mut self) {
         self.heap.clear();

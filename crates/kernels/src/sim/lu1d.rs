@@ -11,7 +11,7 @@
 
 use delta_mesh::{Comm, Kernel, Machine, Node, RunReport};
 use des::rng::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Outcome of a verified simulated LINPACK run.
 #[derive(Debug, Clone)]
@@ -78,7 +78,7 @@ async fn lu1d_node(node: Node, n: usize, nb: usize, seed: u64) -> Option<f64> {
     for k in 0..n {
         let root = owner(k, nb, p);
         // Owner prepares the multiplier column.
-        let col_msg: Option<Rc<[f64]>> = if me == root {
+        let col_msg: Option<Arc<[f64]>> = if me == root {
             let col = &mut my_cols
                 .iter_mut()
                 .find(|(j, _)| *j == k)
@@ -105,7 +105,7 @@ async fn lu1d_node(node: Node, n: usize, nb: usize, seed: u64) -> Option<f64> {
             msg.extend_from_slice(&col[k + 1..]);
             // Charge the pivot scan + scale.
             node.compute(Kernel::Daxpy, 2.0 * (n - k) as f64).await;
-            Some(Rc::from(msg))
+            Some(Arc::from(msg))
         } else {
             None
         };

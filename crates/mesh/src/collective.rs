@@ -17,6 +17,7 @@ use crate::machine::Kernel;
 use crate::sim::{Node, Payload};
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// High bit marks collective-space tags, second bit comm-p2p tags, so user
 /// tags on the raw `Node` API can never collide with comm traffic.
@@ -111,7 +112,7 @@ impl Comm {
         self.node.recv(src, Some(self.p2p_tag(tag))).await.payload
     }
 
-    pub async fn recv_f64s(&self, from: Option<usize>, tag: u64) -> Rc<[f64]> {
+    pub async fn recv_f64s(&self, from: Option<usize>, tag: u64) -> Arc<[f64]> {
         self.recv(from, tag).await.into_f64s()
     }
 
@@ -145,7 +146,7 @@ impl Comm {
 
     /// Binomial-tree broadcast. The root passes `Some(data)`; everyone
     /// receives the payload.
-    pub async fn bcast(&self, root: usize, data: Option<Rc<[f64]>>) -> Rc<[f64]> {
+    pub async fn bcast(&self, root: usize, data: Option<Arc<[f64]>>) -> Arc<[f64]> {
         let out = self.bcast_payload(root, data.map(Payload::F64)).await;
         out.into_f64s()
     }
@@ -672,7 +673,7 @@ mod tests {
         let out = on9(|comm| {
             Box::pin(async move {
                 let data = if comm.me() == 4 {
-                    Some(Rc::from(vec![1.0, 2.0, 3.0]))
+                    Some(Arc::from(vec![1.0, 2.0, 3.0]))
                 } else {
                     None
                 };

@@ -27,13 +27,14 @@ pub mod collective;
 pub mod machine;
 pub mod partition;
 pub mod sched;
+mod shard;
 pub mod sim;
 pub mod topology;
 
 pub use collective::Comm;
 pub use des::faults::{FaultEvent, FaultKind, FaultPlan, MtbfModel};
 pub use machine::{presets, Kernel, KernelEff, MachineConfig, NetModel, NodeModel, Switching};
-pub use partition::{MeshSpace, SubMesh};
+pub use partition::{LaneMap, MeshSpace, SubMesh};
 pub use sched::{consortium_workload, Job, JobRecord, KilledAttempt, Policy, SchedReport};
 pub use sim::{CommError, FaultStats, Machine, Msg, Node, Payload, RetryPolicy, RunReport};
 pub use topology::{LinkId, Topology};

@@ -199,6 +199,21 @@ impl NetModel {
         let t0 = (self.wire_latency + self.per_hop * hops as u64).as_secs_f64();
         (t0 * self.bandwidth) as u64
     }
+
+    /// Conservative-simulation lookahead: a lower bound on the virtual
+    /// time between a send being issued and the message arriving at any
+    /// node in another lane (≥ one hop away). A message sent at time `t`
+    /// can never arrive before `t + lookahead()`, so a lane that has
+    /// advanced to `T` cannot be affected by remote events until
+    /// `T + lookahead()` — the window width of the sharded engine.
+    ///
+    /// Floored at 1 ns so the window is never empty (the `ideal` preset
+    /// has near-zero overheads).
+    pub fn lookahead(&self) -> Dur {
+        Dur((self.send_overhead + self.wire_latency + self.per_hop)
+            .0
+            .max(1))
+    }
 }
 
 /// A complete machine description.
@@ -404,6 +419,17 @@ mod tests {
         assert!((t.as_secs_f64() - 1.0).abs() < 0.001, "{t}");
         let short = net.transfer_time(0, 10);
         assert!(short >= net.wire_latency);
+    }
+
+    #[test]
+    fn lookahead_bounds_any_remote_transfer() {
+        for m in [delta_528(), paragon(16, 33), ipsc860(7), ideal(64)] {
+            let la = m.net.lookahead();
+            assert!(la.0 >= 1, "window must be non-empty");
+            // No message to a node ≥ 1 hop away beats the lookahead.
+            let fastest = m.net.send_overhead + m.net.transfer_time(0, 1);
+            assert!(la <= fastest, "{la} vs {fastest} on {}", m.name);
+        }
     }
 
     #[test]

@@ -190,6 +190,68 @@ impl MeshSpace {
     }
 }
 
+/// Static assignment of nodes to parallel simulation lanes.
+///
+/// A lane is a shard of the discrete-event engine: one event calendar,
+/// one executor, one contiguous block of node ids. For a 2-D mesh the
+/// blocks are whole rows, which matters because XY routing (column
+/// first, then row) keeps every intra-lane route on intra-lane links —
+/// only messages whose endpoints live in different lanes cross a lane
+/// boundary. For other topologies the blocks are plain id ranges.
+///
+/// The requested lane count is clamped so every lane is non-empty
+/// (≤ rows for a mesh, ≤ nodes otherwise).
+#[derive(Debug, Clone)]
+pub struct LaneMap {
+    /// `starts[l]..starts[l + 1]` is lane `l`'s node range.
+    starts: Vec<usize>,
+}
+
+impl LaneMap {
+    pub fn new(topo: &Topology, lanes: usize) -> LaneMap {
+        let nodes = topo.nodes();
+        assert!(nodes > 0, "lane map over an empty machine");
+        let units = match *topo {
+            Topology::Mesh2D { rows, .. } => rows,
+            _ => nodes,
+        };
+        let per_unit = nodes / units;
+        let lanes = lanes.clamp(1, units);
+        // Balanced contiguous blocks: lane l gets units [l*u/L, (l+1)*u/L).
+        let starts: Vec<usize> = (0..=lanes)
+            .map(|l| (l * units / lanes) * per_unit)
+            .collect();
+        LaneMap { starts }
+    }
+
+    /// Single-lane map (the legacy engine's view of the machine).
+    pub fn single(topo: &Topology) -> LaneMap {
+        LaneMap::new(topo, 1)
+    }
+
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Lane owning `node`.
+    #[inline]
+    pub fn lane_of(&self, node: usize) -> usize {
+        debug_assert!(node < *self.starts.last().unwrap());
+        self.starts.partition_point(|&s| s <= node) - 1
+    }
+
+    /// Node ids owned by `lane`.
+    #[inline]
+    pub fn range(&self, lane: usize) -> std::ops::Range<usize> {
+        self.starts[lane]..self.starts[lane + 1]
+    }
+
+    pub fn total_nodes(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +374,67 @@ mod tests {
         let a = m.allocate(1, 1, false).unwrap();
         m.free(a);
         m.free(a);
+    }
+
+    #[test]
+    fn lane_map_covers_mesh_in_row_blocks() {
+        let topo = Topology::Mesh2D { rows: 16, cols: 33 };
+        let map = LaneMap::new(&topo, 4);
+        assert_eq!(map.lanes(), 4);
+        assert_eq!(map.total_nodes(), 528);
+        // Contiguous, disjoint, exhaustive, row-aligned.
+        let mut covered = 0;
+        for l in 0..map.lanes() {
+            let r = map.range(l);
+            assert_eq!(r.start, covered);
+            assert_eq!(r.start % 33, 0, "lane starts on a row boundary");
+            for n in r.clone() {
+                assert_eq!(map.lane_of(n), l);
+            }
+            covered = r.end;
+        }
+        assert_eq!(covered, 528);
+    }
+
+    #[test]
+    fn lane_map_clamps_to_rows() {
+        let topo = Topology::Mesh2D { rows: 3, cols: 10 };
+        let map = LaneMap::new(&topo, 8);
+        assert_eq!(map.lanes(), 3, "one lane per row at most");
+        for l in 0..3 {
+            assert_eq!(map.range(l).len(), 10, "whole rows, never split");
+        }
+        assert_eq!(LaneMap::new(&topo, 0).lanes(), 1, "floor of one lane");
+    }
+
+    #[test]
+    fn lane_map_balances_uneven_division() {
+        let topo = Topology::Mesh2D { rows: 10, cols: 4 };
+        let map = LaneMap::new(&topo, 4);
+        let sizes: Vec<usize> = (0..4).map(|l| map.range(l).len() / 4).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(
+            sizes.iter().all(|&s| s == 2 || s == 3),
+            "rows split 2/3/2/3"
+        );
+    }
+
+    #[test]
+    fn lane_map_single_matches_legacy_view() {
+        let topo = Topology::Mesh2D { rows: 16, cols: 33 };
+        let map = LaneMap::single(&topo);
+        assert_eq!(map.lanes(), 1);
+        assert_eq!(map.range(0), 0..528);
+        assert_eq!(map.lane_of(527), 0);
+    }
+
+    #[test]
+    fn lane_map_non_mesh_uses_id_blocks() {
+        let topo = Topology::Hypercube { dim: 7 }; // 128 nodes
+        let map = LaneMap::new(&topo, 4);
+        assert_eq!(map.lanes(), 4);
+        assert_eq!(map.total_nodes(), 128);
+        assert_eq!(map.range(0), 0..32);
+        assert_eq!(map.lane_of(127), 3);
     }
 }

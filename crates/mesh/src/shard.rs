@@ -1,0 +1,662 @@
+//! Conservative window-synchronized parallel DES: the lane runtime.
+//!
+//! The machine is split into contiguous node blocks ("lanes", one per
+//! group of mesh rows — [`LaneMap`]). Each lane owns an event calendar,
+//! an executor ([`LaneTasks`]) and the futures of its node programs, so
+//! within a lane the simulation is exactly the legacy engine. Lanes are
+//! synchronized with the classic bounded-lag (CMB/YAWNS-style) rule:
+//!
+//! 1. `T` = minimum next-event time across all lanes,
+//! 2. every lane processes its local events in `[T, T + L)` where `L`
+//!    is the network's cross-lane lookahead
+//!    ([`crate::machine::NetModel::lookahead`]) — a message sent at `t`
+//!    can never arrive in another lane before `t + L`, so no event in
+//!    the window can be invalidated by a peer lane,
+//! 3. cross-lane messages buffered during the window are exchanged
+//!    through a per-(destination, source) mailbox and scheduled into the
+//!    destination calendars, and the next window begins.
+//!
+//! ## Determinism contract
+//!
+//! A sharded run is a pure function of (machine config, fault plan,
+//! program, lane count) — thread scheduling cannot change results:
+//! lanes only interact at window boundaries, each mailbox slot carries
+//! messages from exactly one source lane in that lane's deterministic
+//! send order, and every lane drains slots in source-lane order, so the
+//! destination calendar's tie-breaking sequence numbers are assigned
+//! identically on every run. Remote failure checks read a crash
+//! schedule precomputed from the fault plan instead of shared mutable
+//! state. The inline (single-thread) and threaded modes produce the
+//! same answer; `HPCC_LANE_MODE=threads|inline` forces one for testing.
+//!
+//! Changing the lane *count* changes cross-lane message timing (see
+//! below), so only final results of timing-insensitive programs are
+//! lane-count-invariant, not per-event timestamps.
+//!
+//! ## Modelling concession
+//!
+//! Intra-lane messages keep the full link-occupancy contention model.
+//! Cross-lane messages are timed analytically (sender overhead plus the
+//! uncontended transfer time) and ignore link outages: boundary traffic
+//! sees no channel contention. With row-block lanes and XY routing,
+//! every route between same-lane nodes stays on same-lane channels, so
+//! the concession applies exactly to the traffic that crosses a lane
+//! boundary and to nothing else.
+
+use crate::machine::MachineConfig;
+use crate::partition::LaneMap;
+use crate::sim::{Counters, Event, Msg, Node, RunReport, ShardState, SimCore};
+use crate::topology::Topology;
+use des::faults::{FaultKind, FaultPlan};
+use des::time::{Dur, SimTime};
+use des::{LaneTasks, TaskId};
+use hpcc_trace::NullRecorder;
+use std::cell::RefCell;
+use std::future::Future;
+use std::ops::Range;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+#[derive(Clone, Copy, PartialEq)]
+enum LaneMode {
+    /// All lanes round-robin on the calling thread. Deterministic and
+    /// barrier-free; the right choice on a single-CPU host where OS
+    /// threads would only add context switches.
+    Inline,
+    /// One OS thread per lane, three barriers per window.
+    Threads,
+}
+
+fn pick_mode() -> LaneMode {
+    match std::env::var("HPCC_LANE_MODE").as_deref() {
+        Ok("inline") => return LaneMode::Inline,
+        Ok("threads") => return LaneMode::Threads,
+        _ => {}
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores > 1 {
+        LaneMode::Threads
+    } else {
+        LaneMode::Inline
+    }
+}
+
+/// First crash instant per node (`SimTime::MAX` = never). Crashes are
+/// fail-stop and scripted, so the schedule is known before the run
+/// starts — this is what lets a lane answer "is that remote node dead?"
+/// without asking the lane that owns it.
+fn crash_times(n: usize, plan: &FaultPlan) -> std::sync::Arc<[SimTime]> {
+    let mut t = vec![SimTime::MAX; n];
+    for e in plan.events() {
+        if let FaultKind::NodeCrash { node } = e.kind {
+            t[node] = t[node].min(e.at);
+        }
+    }
+    t.into()
+}
+
+/// Lane owning each directed channel: the lane of the channel's source
+/// node. Only built when the plan contains link faults.
+fn link_owners(topo: &Topology, map: &LaneMap) -> Vec<usize> {
+    let mut owner = vec![0usize; topo.links()];
+    let mut nbrs = Vec::new();
+    for node in 0..topo.nodes() {
+        nbrs.clear();
+        topo.neighbours(node, &mut nbrs);
+        for &(_, link) in &nbrs {
+            owner[link] = map.lane_of(node);
+        }
+    }
+    owner
+}
+
+/// One mailbox slot: messages bound for a single destination lane from
+/// a single source lane, each tagged with the receiving node's rank.
+type MailSlot = Mutex<Vec<(usize, Msg)>>;
+
+/// Cross-lane coordination state. Everything here is only touched at
+/// window boundaries; the hot path never takes a lock.
+struct Shared {
+    /// `mail[dst][src]`: messages from lane `src` to lane `dst`, in
+    /// `src`'s send order. Sharded mutexes — no two writers contend on
+    /// a slot, and readers drain after the barrier.
+    mail: Vec<Vec<MailSlot>>,
+    /// Each lane's next local event time (`u64::MAX` = empty calendar).
+    next: Vec<AtomicU64>,
+    /// Each lane's count of unfinished node programs.
+    live: Vec<AtomicUsize>,
+    /// Some lane has applied a hardware fault (orphaned survivors are
+    /// then casualties, not deadlocks).
+    faulted: AtomicBool,
+    /// Synchronization rounds (windows) executed — a diagnostic for the
+    /// window/event ratio, printed when `HPCC_LANE_STATS` is set.
+    rounds: AtomicU64,
+    /// Blocked-node diagnostics, filled only on the deadlock path.
+    stuck: Mutex<Vec<String>>,
+}
+
+impl Shared {
+    fn new(lanes: usize) -> Shared {
+        Shared {
+            mail: (0..lanes)
+                .map(|_| (0..lanes).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            next: (0..lanes).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            live: (0..lanes).map(|_| AtomicUsize::new(0)).collect(),
+            faulted: AtomicBool::new(false),
+            rounds: AtomicU64::new(0),
+            stuck: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// What every lane decides (identically) at a window boundary.
+enum Decision {
+    /// Process local events strictly below this horizon.
+    Run(SimTime),
+    /// Calendars are empty but programs survive a faulted run: abort
+    /// them as orphans and finish.
+    Orphans,
+    Done,
+    Deadlock,
+}
+
+fn decide(shared: &Shared, lookahead: Dur) -> Decision {
+    let t = shared
+        .next
+        .iter()
+        .map(|a| a.load(Ordering::SeqCst))
+        .min()
+        .expect("at least one lane");
+    if t != u64::MAX {
+        return Decision::Run(SimTime(t) + lookahead);
+    }
+    let live: usize = shared.live.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+    if live == 0 {
+        Decision::Done
+    } else if shared.faulted.load(Ordering::SeqCst) {
+        Decision::Orphans
+    } else {
+        Decision::Deadlock
+    }
+}
+
+fn deadlock_panic(machine: &str, live: usize, stuck: &[String]) -> ! {
+    panic!(
+        "deadlock on {machine}: {live} tasks parked, no events\n{}",
+        stuck.join("\n")
+    )
+}
+
+/// One lane: a shard-configured [`SimCore`], its executor, and the task
+/// handles of the node programs it owns.
+struct Lane<T> {
+    lane: usize,
+    range: Range<usize>,
+    core: Rc<RefCell<SimCore>>,
+    tasks: LaneTasks,
+    task_of: Vec<TaskId>,
+    results: Rc<RefCell<Vec<Option<T>>>>,
+}
+
+fn setup<T, F, Fut>(
+    cfg: &MachineConfig,
+    map: &LaneMap,
+    crash: &std::sync::Arc<[SimTime]>,
+    link_owner: &[usize],
+    plan: &FaultPlan,
+    lane: usize,
+    program: &F,
+) -> Lane<T>
+where
+    T: 'static,
+    F: Fn(Node) -> Fut,
+    Fut: Future<Output = T> + 'static,
+{
+    let n = cfg.nodes();
+    let nlinks = cfg.topology.links();
+    let range = map.range(lane);
+    let core = Rc::new(RefCell::new(SimCore::with_queue_capacity(
+        Rc::new(cfg.clone()),
+        Rc::new(NullRecorder),
+        2 * range.len(),
+    )));
+    core.borrow_mut().shard = Some(ShardState {
+        lane,
+        map: map.clone(),
+        crash_time: std::sync::Arc::clone(crash),
+        outbox: Vec::new(),
+    });
+    let mut tasks = LaneTasks::with_capacity(range.len());
+    let results: Rc<RefCell<Vec<Option<T>>>> =
+        Rc::new(RefCell::new((0..range.len()).map(|_| None).collect()));
+
+    // This lane's share of the fault plan: node faults by owner lane,
+    // link faults by the channel's source-node lane. Same boot-time
+    // rule as the legacy engine: t=0 faults apply before any program
+    // instruction runs.
+    let mut boot = Vec::new();
+    {
+        let mut c = core.borrow_mut();
+        for e in plan.events() {
+            let owner = match e.kind {
+                FaultKind::NodeCrash { node } | FaultKind::NodeSlow { node, .. } => {
+                    assert!(node < n, "fault plan targets node {node} of {n}");
+                    map.lane_of(node)
+                }
+                FaultKind::LinkDown { link, .. } => {
+                    assert!(link < nlinks, "fault plan targets link {link} of {nlinks}");
+                    link_owner[link]
+                }
+            };
+            if owner != lane {
+                continue;
+            }
+            if e.at == SimTime::ZERO {
+                if let Some(node) = c.apply_fault(e.kind) {
+                    boot.push(node);
+                }
+            } else {
+                c.q.schedule(e.at, Event::Fault(e.kind));
+            }
+        }
+    }
+
+    let mut task_of = Vec::with_capacity(range.len());
+    for rank in range.clone() {
+        let node = Node::new_in(Rc::clone(&core), rank, n);
+        let fut = program(node);
+        let sink = Rc::clone(&results);
+        let slot = rank - range.start;
+        task_of.push(tasks.spawn(async move {
+            let out = fut.await;
+            sink.borrow_mut()[slot] = Some(out);
+        }));
+    }
+    for node in boot {
+        tasks.abort(task_of[node - range.start]);
+    }
+    tasks.run_ready();
+    Lane {
+        lane,
+        range,
+        core,
+        tasks,
+        task_of,
+        results,
+    }
+}
+
+impl<T> Lane<T> {
+    /// Process every local event strictly below `horizon`, running the
+    /// executor after each — the legacy dispatch loop restricted to one
+    /// window. Like the legacy loop, it checks for completion *before*
+    /// each pop: once every program on this lane has finished, leftover
+    /// calendar entries (pending faults, stale timers) are abandoned.
+    fn process_window(&mut self, horizon: SimTime) {
+        while !self.tasks.all_done() {
+            let ev = self.core.borrow_mut().q.pop_before(horizon);
+            let Some((_, ev)) = ev else { break };
+            match ev {
+                Event::Deliver { dst, msg } => self.core.borrow_mut().deliver(dst, msg),
+                Event::Wake(c) => c.fulfil(()),
+                Event::Fault(kind) => {
+                    let crashed = self.core.borrow_mut().apply_fault(kind);
+                    if let Some(node) = crashed {
+                        self.tasks.abort(self.task_of[node - self.range.start]);
+                    }
+                }
+                Event::LinkUp { link } => self.core.borrow_mut().link_up(link),
+                Event::RecvDeadline { dst, token, after } => {
+                    self.core.borrow_mut().deadline(dst, token, after);
+                }
+            }
+            self.tasks.run_ready();
+        }
+    }
+
+    /// Hand this window's cross-lane sends to their destination slots.
+    fn flush(&mut self, shared: &Shared) {
+        let mut core = self.core.borrow_mut();
+        let sh = core.shard.as_mut().expect("lane core is sharded");
+        if sh.outbox.is_empty() {
+            return;
+        }
+        for (dst, msg) in sh.outbox.drain(..) {
+            let dlane = sh.map.lane_of(dst);
+            shared.mail[dlane][self.lane]
+                .lock()
+                .expect("mail slot")
+                .push((dst, msg));
+        }
+    }
+
+    /// Schedule everything other lanes sent us; arrivals land at or past
+    /// the horizon by the lookahead argument, so the calendar never sees
+    /// a past timestamp.
+    fn drain(&mut self, shared: &Shared) {
+        let mut core = self.core.borrow_mut();
+        for src in 0..shared.mail.len() {
+            let mut slot = shared.mail[self.lane][src].lock().expect("mail slot");
+            for (dst, msg) in slot.drain(..) {
+                let at = msg.arrived_at;
+                core.q.schedule(at, Event::Deliver { dst, msg });
+            }
+        }
+    }
+
+    fn publish(&self, shared: &Shared) {
+        let core = self.core.borrow();
+        // A finished lane reports an empty calendar even if events are
+        // still queued — the legacy engine stops dispatching the moment
+        // its last task completes, and the abandoned events must not
+        // keep dragging the global horizon (or the elapsed clock)
+        // forward.
+        let next = if self.tasks.all_done() {
+            u64::MAX
+        } else {
+            core.q.peek_time().map_or(u64::MAX, |t| t.0)
+        };
+        shared.next[self.lane].store(next, Ordering::SeqCst);
+        shared.live[self.lane].store(self.tasks.live(), Ordering::SeqCst);
+        if core.counters.faults.any() {
+            shared.faulted.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Abort every unfinished program on this lane (fault aftermath).
+    fn abort_orphans(&mut self) {
+        let mut orphans = 0;
+        for &t in &self.task_of {
+            if self.tasks.abort(t) {
+                orphans += 1;
+            }
+        }
+        self.core.borrow_mut().counters.faults.orphaned_tasks += orphans;
+    }
+
+    fn stuck_report(&self) -> Vec<String> {
+        self.core
+            .borrow()
+            .blocked
+            .iter()
+            .enumerate()
+            .filter_map(|(r, b)| b.as_ref().map(|s| format!("  node {r}: {s}")))
+            .collect()
+    }
+}
+
+/// Per-lane scalar outcome, merged by [`assemble`].
+struct LaneOut<T> {
+    range: Range<usize>,
+    results: Vec<Option<T>>,
+    counters: Counters,
+    now: SimTime,
+    events: u64,
+}
+
+fn finish<T>(lane: Lane<T>) -> LaneOut<T> {
+    // Drop the executor first: completed/aborted futures are gone, so
+    // the lane core and result sink are uniquely held again.
+    drop(lane.tasks);
+    let core = Rc::try_unwrap(lane.core)
+        .unwrap_or_else(|_| unreachable!("lane tasks done"))
+        .into_inner();
+    let results = Rc::try_unwrap(lane.results)
+        .unwrap_or_else(|_| unreachable!("lane tasks done"))
+        .into_inner();
+    LaneOut {
+        range: lane.range,
+        results,
+        counters: core.counters.clone(),
+        now: core.q.now(),
+        events: core.q.events_processed(),
+    }
+}
+
+fn assemble<T>(cfg: &MachineConfig, outs: Vec<LaneOut<T>>) -> (Vec<Option<T>>, RunReport) {
+    let n = cfg.nodes();
+    let nlinks = cfg.topology.links();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut counters = Counters::default();
+    let mut end = SimTime::ZERO;
+    let mut events = 0u64;
+    for out in outs {
+        let start = out.range.start;
+        for (i, r) in out.results.into_iter().enumerate() {
+            results[start + i] = r;
+        }
+        counters.absorb(&out.counters);
+        end = end.max(out.now);
+        events += out.events;
+    }
+    let elapsed = end - SimTime::ZERO;
+    let denom = elapsed.as_secs_f64().max(1e-30);
+    let report = RunReport {
+        machine: cfg.name.clone(),
+        nodes: n,
+        elapsed,
+        messages: counters.messages,
+        bytes: counters.bytes,
+        flops: counters.flops,
+        events,
+        compute_fraction: counters.compute_time.as_secs_f64() / (n as f64 * denom),
+        link_utilization: counters.link_busy.as_secs_f64() / (nlinks.max(1) as f64 * denom),
+        unexpected_messages: counters.unexpected,
+        faults: counters.faults,
+    };
+    (results, report)
+}
+
+/// Entry point used by [`crate::sim::Machine`]: run `program` on every
+/// node across `lanes` event-engine shards.
+pub(crate) fn run<T, F, Fut>(
+    cfg: &MachineConfig,
+    lanes: usize,
+    plan: &FaultPlan,
+    program: &F,
+) -> (Vec<Option<T>>, RunReport)
+where
+    T: Send + 'static,
+    F: Fn(Node) -> Fut + Sync,
+    Fut: Future<Output = T> + 'static,
+{
+    let map = LaneMap::new(&cfg.topology, lanes);
+    let lanes = map.lanes();
+    let lookahead = cfg.net.lookahead();
+    let crash = crash_times(cfg.nodes(), plan);
+    let link_owner = if plan
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, FaultKind::LinkDown { .. }))
+    {
+        link_owners(&cfg.topology, &map)
+    } else {
+        Vec::new()
+    };
+    let shared = Shared::new(lanes);
+    let mode = if lanes > 1 {
+        pick_mode()
+    } else {
+        LaneMode::Inline
+    };
+    let outs = match mode {
+        LaneMode::Inline => run_inline(
+            cfg,
+            &map,
+            &crash,
+            &link_owner,
+            plan,
+            lanes,
+            lookahead,
+            &shared,
+            program,
+        ),
+        LaneMode::Threads => run_threads(
+            cfg,
+            &map,
+            &crash,
+            &link_owner,
+            plan,
+            lanes,
+            lookahead,
+            &shared,
+            program,
+        ),
+    };
+    if std::env::var("HPCC_LANE_STATS").is_ok() {
+        let events: u64 = outs.iter().map(|o| o.events).sum();
+        let rounds = shared.rounds.load(Ordering::Relaxed);
+        eprintln!(
+            "[lane-stats] lanes={lanes} rounds={rounds} events={events} ev/round={:.1}",
+            events as f64 / rounds.max(1) as f64
+        );
+    }
+    assemble(cfg, outs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_inline<T, F, Fut>(
+    cfg: &MachineConfig,
+    map: &LaneMap,
+    crash: &std::sync::Arc<[SimTime]>,
+    link_owner: &[usize],
+    plan: &FaultPlan,
+    lanes: usize,
+    lookahead: Dur,
+    shared: &Shared,
+    program: &F,
+) -> Vec<LaneOut<T>>
+where
+    T: 'static,
+    F: Fn(Node) -> Fut,
+    Fut: Future<Output = T> + 'static,
+{
+    let mut ls: Vec<Lane<T>> = (0..lanes)
+        .map(|l| setup(cfg, map, crash, link_owner, plan, l, program))
+        .collect();
+    for l in &mut ls {
+        l.flush(shared);
+    }
+    for l in &mut ls {
+        l.drain(shared);
+        l.publish(shared);
+    }
+    loop {
+        match decide(shared, lookahead) {
+            Decision::Done => break,
+            Decision::Deadlock => {
+                let stuck: Vec<String> = ls.iter().flat_map(|l| l.stuck_report()).collect();
+                let live = ls.iter().map(|l| l.tasks.live()).sum();
+                deadlock_panic(&cfg.name, live, &stuck);
+            }
+            Decision::Orphans => {
+                for l in &mut ls {
+                    l.abort_orphans();
+                    l.publish(shared);
+                }
+            }
+            Decision::Run(horizon) => {
+                shared.rounds.fetch_add(1, Ordering::Relaxed);
+                for l in &mut ls {
+                    l.process_window(horizon);
+                    l.flush(shared);
+                }
+                for l in &mut ls {
+                    l.drain(shared);
+                    l.publish(shared);
+                }
+            }
+        }
+    }
+    ls.into_iter().map(finish).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_threads<T, F, Fut>(
+    cfg: &MachineConfig,
+    map: &LaneMap,
+    crash: &std::sync::Arc<[SimTime]>,
+    link_owner: &[usize],
+    plan: &FaultPlan,
+    lanes: usize,
+    lookahead: Dur,
+    shared: &Shared,
+    program: &F,
+) -> Vec<LaneOut<T>>
+where
+    T: Send + 'static,
+    F: Fn(Node) -> Fut + Sync,
+    Fut: Future<Output = T> + 'static,
+{
+    let barrier = Barrier::new(lanes);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..lanes)
+            .map(|lane| {
+                let (barrier, shared, link_owner) = (&barrier, shared, link_owner);
+                s.spawn(move || {
+                    let mut l: Lane<T> = setup(cfg, map, crash, link_owner, plan, lane, program);
+                    // Round structure: work -> flush -> barrier ->
+                    // drain + publish -> barrier -> decide. Writes to
+                    // `shared` happen strictly between the two barriers,
+                    // reads strictly after the second, so every lane
+                    // decides on the same snapshot.
+                    l.flush(shared);
+                    barrier.wait();
+                    l.drain(shared);
+                    l.publish(shared);
+                    barrier.wait();
+                    loop {
+                        match decide(shared, lookahead) {
+                            Decision::Done => break,
+                            Decision::Deadlock => {
+                                shared
+                                    .stuck
+                                    .lock()
+                                    .expect("stuck list")
+                                    .extend(l.stuck_report());
+                                let leader = barrier.wait().is_leader();
+                                if leader {
+                                    let stuck =
+                                        std::mem::take(&mut *shared.stuck.lock().expect("stuck"));
+                                    let live =
+                                        shared.live.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+                                    deadlock_panic(&cfg.name, live, &stuck);
+                                }
+                                break;
+                            }
+                            Decision::Orphans => {
+                                l.abort_orphans();
+                                barrier.wait();
+                                l.publish(shared);
+                                barrier.wait();
+                            }
+                            Decision::Run(horizon) => {
+                                if lane == 0 {
+                                    shared.rounds.fetch_add(1, Ordering::Relaxed);
+                                }
+                                l.process_window(horizon);
+                                l.flush(shared);
+                                barrier.wait();
+                                l.drain(shared);
+                                l.publish(shared);
+                                barrier.wait();
+                            }
+                        }
+                    }
+                    finish(l)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}

@@ -21,6 +21,7 @@
 //! (paper-scale runs where only timing matters).
 
 use crate::machine::{Kernel, MachineConfig};
+use crate::partition::LaneMap;
 use crate::topology::LinkId;
 use bytes::Bytes;
 use des::faults::{FaultKind, FaultPlan};
@@ -32,6 +33,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Typed NX communication error. The pre-fault simulator turned every
 /// one of these conditions into a panic; with fault injection they are
@@ -69,14 +71,14 @@ impl std::error::Error for CommError {}
 /// Message contents: real doubles, raw bytes, or a timing-only byte count.
 #[derive(Debug, Clone)]
 pub enum Payload {
-    F64(Rc<[f64]>),
+    F64(Arc<[f64]>),
     Bytes(Bytes),
     Virtual(u64),
 }
 
 impl Payload {
     pub fn from_f64s(xs: &[f64]) -> Payload {
-        Payload::F64(Rc::from(xs))
+        Payload::F64(Arc::from(xs))
     }
 
     /// On-the-wire size in bytes.
@@ -99,7 +101,7 @@ impl Payload {
     }
 
     /// Take the doubles, or report the mismatched payload kind.
-    pub fn try_into_f64s(self) -> Result<Rc<[f64]>, CommError> {
+    pub fn try_into_f64s(self) -> Result<Arc<[f64]>, CommError> {
         match self {
             Payload::F64(v) => Ok(v),
             other => Err(CommError::PayloadType {
@@ -119,7 +121,7 @@ impl Payload {
 
     /// Take the doubles; panics on a non-F64 payload. Use
     /// [`Payload::try_into_f64s`] where the caller can recover.
-    pub fn into_f64s(self) -> Rc<[f64]> {
+    pub fn into_f64s(self) -> Arc<[f64]> {
         match self.try_into_f64s() {
             Ok(v) => v,
             Err(e) => panic!("{e}"),
@@ -137,7 +139,7 @@ pub struct Msg {
     pub arrived_at: SimTime,
 }
 
-enum Event {
+pub(crate) enum Event {
     Deliver {
         dst: usize,
         msg: Msg,
@@ -211,17 +213,54 @@ impl FaultStats {
     }
 }
 
-struct SimCore {
-    q: EventQueue<Event>,
+impl Counters {
+    /// Fold another lane's counters into this aggregate (the sharded
+    /// runtime sums per-lane counters into one machine-wide report).
+    pub(crate) fn absorb(&mut self, o: &Counters) {
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+        self.flops += o.flops;
+        self.compute_time += o.compute_time;
+        self.link_busy += o.link_busy;
+        self.unexpected += o.unexpected;
+        self.faults.node_crashes += o.faults.node_crashes;
+        self.faults.slowdowns += o.faults.slowdowns;
+        self.faults.link_faults += o.faults.link_faults;
+        self.faults.messages_lost += o.faults.messages_lost;
+        self.faults.timeouts += o.faults.timeouts;
+        self.faults.retries += o.faults.retries;
+        self.faults.orphaned_tasks += o.faults.orphaned_tasks;
+    }
+}
+
+/// Per-lane view of the machine held by the sharded runtime. A lane owns
+/// a contiguous block of node ids ([`LaneMap`]); messages between two
+/// nodes of the same lane go through the full link-occupancy model,
+/// messages to another lane are timed analytically (contention-free) and
+/// handed over through the lane mailbox at the end of the window.
+pub(crate) struct ShardState {
+    /// This core's lane index.
+    pub(crate) lane: usize,
+    pub(crate) map: LaneMap,
+    /// First crash instant per node (`SimTime::MAX` = never), precomputed
+    /// from the fault plan so remote-failure checks need no shared state.
+    pub(crate) crash_time: Arc<[SimTime]>,
+    /// Cross-lane messages generated this window, in send order. Each
+    /// `Msg` already carries its arrival time.
+    pub(crate) outbox: Vec<(usize, Msg)>,
+}
+
+pub(crate) struct SimCore {
+    pub(crate) q: EventQueue<Event>,
     /// Shared with the owning [`Machine`] and every [`Node`] handle —
     /// the config is immutable for the whole run, so nobody clones it.
     cfg: Rc<MachineConfig>,
     link_busy_until: Vec<SimTime>,
     mailbox: Vec<VecDeque<Msg>>,
     pending: Vec<VecDeque<PendingRecv>>,
-    blocked: Vec<Option<String>>,
+    pub(crate) blocked: Vec<Option<String>>,
     route_buf: Vec<LinkId>,
-    counters: Counters,
+    pub(crate) counters: Counters,
     /// Fail-stop state per node.
     failed: Vec<bool>,
     /// Active slowdown per node: `(factor, until)`.
@@ -241,10 +280,28 @@ struct SimCore {
     /// Trace track per node rank / per channel (empty when disabled).
     node_track: Vec<TrackId>,
     link_track: Vec<TrackId>,
+    /// `Some` when this core is one lane of a sharded run; `None` for the
+    /// legacy single-queue engine (every pre-existing entry point), which
+    /// keeps the fault-free fast paths untouched.
+    pub(crate) shard: Option<ShardState>,
 }
 
 impl SimCore {
-    fn new(cfg: Rc<MachineConfig>, rec: Rc<dyn Recorder>) -> SimCore {
+    pub(crate) fn new(cfg: Rc<MachineConfig>, rec: Rc<dyn Recorder>) -> SimCore {
+        // Steady state holds at most a wake or delivery per node;
+        // pre-size so the calendar never regrows mid-run.
+        let cap = 2 * cfg.nodes();
+        SimCore::with_queue_capacity(cfg, rec, cap)
+    }
+
+    /// Like [`SimCore::new`] with an explicit calendar pre-size: a lane
+    /// of a sharded run only ever holds events for its own node block,
+    /// so sizing by the whole machine would waste a heap per lane.
+    pub(crate) fn with_queue_capacity(
+        cfg: Rc<MachineConfig>,
+        rec: Rc<dyn Recorder>,
+        cap: usize,
+    ) -> SimCore {
         let n = cfg.nodes();
         let links = cfg.topology.links();
         let rec_on = rec.is_enabled();
@@ -263,9 +320,7 @@ impl SimCore {
             Vec::new()
         };
         SimCore {
-            // Steady state holds at most a wake or delivery per node;
-            // pre-size so the calendar never regrows mid-run.
-            q: EventQueue::with_capacity(2 * n),
+            q: EventQueue::with_capacity(cap),
             cfg,
             link_busy_until: vec![SimTime::ZERO; links],
             mailbox: (0..n).map(|_| VecDeque::new()).collect(),
@@ -283,6 +338,7 @@ impl SimCore {
             rec_on,
             node_track,
             link_track,
+            shard: None,
         }
     }
 
@@ -308,6 +364,11 @@ impl SimCore {
         tag: u64,
         payload: Payload,
     ) -> Result<(), CommError> {
+        if let Some(sh) = &self.shard {
+            if sh.map.lane_of(dst) != sh.lane {
+                return self.inject_remote(src, dst, tag, payload);
+            }
+        }
         let now = self.q.now();
         let bytes = payload.len_bytes();
         self.counters.messages += 1;
@@ -417,9 +478,52 @@ impl SimCore {
         Ok(())
     }
 
+    /// Inject a message whose destination lives in another lane. The
+    /// arrival time is computed analytically — sender overhead plus the
+    /// uncontended transfer time — rather than through link reservation:
+    /// cross-lane traffic sees no channel contention and ignores link
+    /// outages, the modelling concession that buys lane independence
+    /// (the send-side latency floor is exactly the engine's lookahead,
+    /// so the arrival always lands at or past the window horizon). The
+    /// message is buffered in the lane outbox; the window runtime moves
+    /// it to the destination lane's calendar at the next horizon.
+    fn inject_remote(
+        &mut self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+    ) -> Result<(), CommError> {
+        let now = self.q.now();
+        let bytes = payload.len_bytes();
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+        let sh = self.shard.as_mut().expect("remote inject on sharded core");
+        if sh.crash_time[dst] <= now {
+            // Same fail-stop oracle as the local path: the destination is
+            // already dead, the message is dropped on the floor.
+            self.counters.faults.messages_lost += 1;
+            return Err(CommError::NodeFailed(dst));
+        }
+        let net = &self.cfg.net;
+        let hops = self.cfg.topology.hops(src, dst);
+        let arrival = now + net.send_overhead + net.transfer_time(bytes, hops);
+        sh.outbox.push((
+            dst,
+            Msg {
+                src,
+                tag,
+                payload,
+                sent_at: now,
+                arrived_at: arrival,
+            },
+        ));
+        Ok(())
+    }
+
     /// Hand an arrived message to a posted recv or queue it. A message
     /// reaching a node that crashed while it was in flight is dropped.
-    fn deliver(&mut self, dst: usize, msg: Msg) {
+    pub(crate) fn deliver(&mut self, dst: usize, msg: Msg) {
         if self.failed[dst] {
             self.counters.faults.messages_lost += 1;
             return;
@@ -446,7 +550,7 @@ impl SimCore {
 
     /// Apply one fault event. Returns the rank whose program must be
     /// aborted, for the executor-side half of a node crash.
-    fn apply_fault(&mut self, kind: FaultKind) -> Option<usize> {
+    pub(crate) fn apply_fault(&mut self, kind: FaultKind) -> Option<usize> {
         match kind {
             FaultKind::NodeCrash { node } => {
                 if self.failed[node] {
@@ -508,7 +612,7 @@ impl SimCore {
         }
     }
 
-    fn link_up(&mut self, link: LinkId) {
+    pub(crate) fn link_up(&mut self, link: LinkId) {
         if self.down[link] && self.q.now() >= self.down_until[link] {
             self.down[link] = false;
             self.down_links -= 1;
@@ -521,7 +625,7 @@ impl SimCore {
 
     /// Expire a `recv_timeout` deadline: if the posted recv is still
     /// outstanding, withdraw it and fail its waiter.
-    fn deadline(&mut self, dst: usize, token: u64, after: Dur) {
+    pub(crate) fn deadline(&mut self, dst: usize, token: u64, after: Dur) {
         let pend = &mut self.pending[dst];
         if let Some(pos) = pend.iter().position(|p| p.token == token) {
             let p = pend.remove(pos).unwrap();
@@ -558,6 +662,10 @@ impl Clone for Node {
 }
 
 impl Node {
+    pub(crate) fn new_in(core: Rc<RefCell<SimCore>>, rank: usize, nranks: usize) -> Node {
+        Node { core, rank, nranks }
+    }
+
     /// This node's rank in `0..nranks()`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -673,7 +781,16 @@ impl Node {
     /// Has `rank` suffered a permanent crash? (The NX failure-detector
     /// oracle: fail-stop faults are detected immediately and reliably.)
     pub fn peer_failed(&self, rank: usize) -> bool {
-        self.core.borrow().failed[rank]
+        let core = self.core.borrow();
+        if let Some(sh) = &core.shard {
+            if sh.map.lane_of(rank) != sh.lane {
+                // A remote peer's fail-stop state is a pure function of
+                // the fault plan and the clock — no cross-lane traffic
+                // needed to answer the oracle deterministically.
+                return sh.crash_time[rank] <= core.q.now();
+            }
+        }
+        core.failed[rank]
     }
 
     /// Convenience: send a slice of doubles.
@@ -774,7 +891,7 @@ impl Node {
     }
 
     /// Receive and unwrap a doubles payload.
-    pub async fn recv_f64s(&self, src: Option<usize>, tag: Option<u64>) -> Rc<[f64]> {
+    pub async fn recv_f64s(&self, src: Option<usize>, tag: Option<u64>) -> Arc<[f64]> {
         self.recv(src, tag).await.payload.into_f64s()
     }
 
@@ -785,7 +902,7 @@ impl Node {
         src: Option<usize>,
         tag: Option<u64>,
         timeout: Dur,
-    ) -> Result<Rc<[f64]>, CommError> {
+    ) -> Result<Arc<[f64]>, CommError> {
         self.recv_timeout(src, tag, timeout)
             .await?
             .payload
@@ -940,7 +1057,7 @@ impl RecvRequest {
 }
 
 /// Per-run report: virtual elapsed time plus traffic/compute aggregates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     pub machine: String,
     pub nodes: usize,
@@ -1188,6 +1305,79 @@ impl Machine {
             .unwrap_or_else(|_| unreachable!("all tasks done"))
             .into_inner();
         (results, report)
+    }
+
+    /// Run one program per node on the sharded conservative-parallel
+    /// engine: the mesh is split into `lanes` contiguous row blocks
+    /// ([`crate::partition::LaneMap`]), each with its own event calendar
+    /// and executor, synchronized by bounded-lag windows whose width is
+    /// the network's cross-lane [`crate::machine::NetModel::lookahead`].
+    ///
+    /// `lanes <= 1` (or a machine too small to split) runs on the legacy
+    /// single-queue engine — bit-identical to [`Machine::run`] by
+    /// construction, since it *is* that code path. Multi-lane runs keep
+    /// exact link-occupancy timing inside each lane and time cross-lane
+    /// messages analytically (uncontended), so final results are
+    /// lane-count-invariant for timing-insensitive programs while
+    /// per-event timestamps may differ from the single-lane schedule.
+    /// Lanes execute on threads when the host has more than one CPU,
+    /// inline round-robin otherwise (`HPCC_LANE_MODE=threads|inline`
+    /// overrides).
+    pub fn run_sharded<T, F, Fut>(&self, lanes: usize, program: F) -> (Vec<T>, RunReport)
+    where
+        T: Send + 'static,
+        F: Fn(Node) -> Fut + Sync,
+        Fut: Future<Output = T> + 'static,
+    {
+        let (results, report) = self.run_sharded_with_faults(lanes, &FaultPlan::none(), program);
+        let results = results
+            .into_iter()
+            .map(|o| o.expect("node completed"))
+            .collect();
+        (results, report)
+    }
+
+    /// Sharded run under a [`FaultPlan`] — the lane-parallel counterpart
+    /// of [`Machine::run_with_faults`]. Node crashes and slowdowns are
+    /// applied by the lane owning the node, link outages by the lane
+    /// owning the channel's source node; cross-lane messages check the
+    /// destination's precomputed crash schedule instead of shared state.
+    pub fn run_sharded_with_faults<T, F, Fut>(
+        &self,
+        lanes: usize,
+        plan: &FaultPlan,
+        program: F,
+    ) -> (Vec<Option<T>>, RunReport)
+    where
+        T: Send + 'static,
+        F: Fn(Node) -> Fut + Sync,
+        Fut: Future<Output = T> + 'static,
+    {
+        let lanes = LaneMap::new(&self.cfg.topology, lanes).lanes();
+        if lanes <= 1 {
+            // One lane IS the legacy engine: same code, same bits.
+            return self.run_with_faults(plan, program);
+        }
+        crate::shard::run(&self.cfg, lanes, plan, &program)
+    }
+
+    /// Test hook: force the window runtime even at one lane, where its
+    /// event order must reproduce the legacy engine exactly. Not part of
+    /// the public API contract.
+    #[doc(hidden)]
+    pub fn run_windowed_exact<T, F, Fut>(
+        &self,
+        lanes: usize,
+        plan: &FaultPlan,
+        program: F,
+    ) -> (Vec<Option<T>>, RunReport)
+    where
+        T: Send + 'static,
+        F: Fn(Node) -> Fut + Sync,
+        Fut: Future<Output = T> + 'static,
+    {
+        let lanes = LaneMap::new(&self.cfg.topology, lanes).lanes();
+        crate::shard::run(&self.cfg, lanes, plan, &program)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use delta_mesh::{presets, Comm, Machine};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn machine(rows: usize, cols: usize) -> Machine {
     Machine::new(presets::delta(rows, cols))
@@ -30,7 +30,7 @@ proptest! {
             let data = data.clone();
             async move {
                 let comm = Comm::world(&node);
-                let payload = (comm.me() == root).then(|| Rc::from(data.as_slice()));
+                let payload = (comm.me() == root).then(|| Arc::from(data.as_slice()));
                 comm.bcast(root, payload).await.to_vec()
             }
         });
