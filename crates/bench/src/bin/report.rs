@@ -11,7 +11,7 @@
 //! `report all --out <path>` writes the concatenated exhibits to a file
 //! instead of stdout (used to regenerate `report_all.txt`).
 
-use hpcc_bench::{desperf, exhibits as ex, perf};
+use hpcc_bench::{desperf, exhibits as ex, perf, schedperf};
 
 /// Measure the host kernels, print the table, and drop the machine-
 /// readable snapshot next to the working directory.
@@ -34,6 +34,19 @@ fn bench_des(smoke: bool) -> String {
     match std::fs::write(path, &json) {
         Ok(()) => format!("{}\nwrote {path}", desperf::table(&rows)),
         Err(e) => format!("{}\ncould not write {path}: {e}", desperf::table(&rows)),
+    }
+}
+
+/// Drive the scheduler service through the steady / overload / faulted
+/// scenarios, print the table, and drop the machine-readable snapshot.
+/// `--smoke` shrinks the streams and runs the batch-equivalence gate.
+fn bench_sched(smoke: bool) -> String {
+    let rows = schedperf::snapshot(smoke);
+    let json = schedperf::json(&rows);
+    let path = "BENCH_sched.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => format!("{}\nwrote {path}", schedperf::table(&rows)),
+        Err(e) => format!("{}\ncould not write {path}: {e}", schedperf::table(&rows)),
     }
 }
 
@@ -64,6 +77,7 @@ fn main() {
             "grand-challenges" => ex::grand_challenges(),
             "fft-scaling" => ex::fft_scaling(),
             "scheduler" => ex::scheduler(),
+            "sched-service" => ex::sched_service(),
             "resilience" => ex::resilience(smoke),
             "trace" => ex::trace(smoke),
             "ablations" => ex::ablations(),
@@ -71,6 +85,7 @@ fn main() {
             "timeline" => ex::timeline(),
             "bench-kernels" => bench_kernels(),
             "bench-des" => bench_des(smoke),
+            "bench-sched" => bench_sched(smoke),
             "index" => ex::index(),
             _ => return None,
         })
@@ -97,6 +112,7 @@ fn main() {
             "grand-challenges",
             "fft-scaling",
             "scheduler",
+            "sched-service",
             "resilience",
             "ablations",
             "kernel-profile",
@@ -123,8 +139,9 @@ fn main() {
                      responsibilities, funding, components, delta-peak, delta-linpack, \
                      linpack-sweep, mpp-series, consortium-net, nren-upgrade, casa, cas, \
                      grand-challenges, fft-scaling, \
-                     scheduler, resilience [--smoke], trace [--smoke], ablations, \
-                     kernel-profile, timeline, bench-kernels, bench-des [--smoke]"
+                     scheduler, sched-service, resilience [--smoke], trace [--smoke], \
+                     ablations, kernel-profile, timeline, bench-kernels, \
+                     bench-des [--smoke], bench-sched [--smoke]"
                 );
                 std::process::exit(2);
             }

@@ -10,3 +10,4 @@
 pub mod desperf;
 pub mod exhibits;
 pub mod perf;
+pub mod schedperf;

@@ -24,7 +24,8 @@ pub struct Exhibit {
     pub report_cmd: &'static str,
     /// Modules implementing the pieces.
     pub modules: &'static [&'static str],
-    /// Criterion bench group covering it, if any.
+    /// Bench covering it, if any: a Criterion group or a `report
+    /// bench-*` command.
     pub bench: Option<&'static str>,
 }
 
@@ -182,6 +183,19 @@ pub fn registry() -> &'static [Exhibit] {
                 "hpcc_kernels::sim::lu2d",
             ],
             bench: Some("ablations/resilience"),
+        },
+        Exhibit {
+            id: "SCHED-1",
+            title: "Scheduler as a service: admission control, quotas, shed tiers, \
+                    retry/backoff under overload and faults",
+            kind: ExhibitKind::Table,
+            report_cmd: "sched-service",
+            modules: &[
+                "delta_mesh::sched::service",
+                "des::backoff",
+                "delta_mesh::partition",
+            ],
+            bench: Some("bench-sched"),
         },
         Exhibit {
             id: "OBS-1",

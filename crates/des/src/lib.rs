@@ -13,6 +13,7 @@
 //! Everything here is single-threaded and bit-reproducible: integer virtual
 //! time, FIFO tie-breaking, a locally implemented Xoshiro256** generator.
 
+pub mod backoff;
 pub mod exec;
 pub mod faults;
 pub mod queue;
@@ -20,6 +21,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use backoff::Backoff;
 pub use exec::{yield_now, Completion, LaneTasks, TaskId, Tasks};
 pub use faults::{seed_from_env, FaultEvent, FaultKind, FaultPlan, MtbfModel};
 pub use queue::EventQueue;

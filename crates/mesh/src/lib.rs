@@ -35,6 +35,10 @@ pub use collective::Comm;
 pub use des::faults::{FaultEvent, FaultKind, FaultPlan, MtbfModel};
 pub use machine::{presets, Kernel, KernelEff, MachineConfig, NetModel, NodeModel, Switching};
 pub use partition::{LaneMap, MeshSpace, SubMesh};
+pub use sched::service::{
+    service_workload, AdmissionError, Order, Outcome, Priority, RetryBudget, ServiceConfig,
+    ServiceReport, ServiceTrace, ShedTiers, Submission,
+};
 pub use sched::{consortium_workload, Job, JobRecord, KilledAttempt, Policy, SchedReport};
 pub use sim::{CommError, FaultStats, Machine, Msg, Node, Payload, RetryPolicy, RunReport};
 pub use topology::{LinkId, Topology};

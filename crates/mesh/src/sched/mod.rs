@@ -7,6 +7,8 @@
 //! consortium's operators cared about: utilisation, wait times, and
 //! fragmentation refusals.
 
+pub mod service;
+
 use crate::partition::{MeshSpace, SubMesh};
 use des::faults::FaultPlan;
 use des::queue::EventQueue;
@@ -16,7 +18,7 @@ use des::time::{Dur, SimTime};
 use hpcc_trace::{names, NullRecorder, Recorder, TrackId};
 
 /// One batch job: a sub-mesh shape held for a duration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     pub id: usize,
     /// Requested shape (rows, cols).
@@ -44,7 +46,7 @@ pub enum Policy {
 
 /// A placement that was killed mid-run by a node failure; the job was
 /// re-queued afterwards.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KilledAttempt {
     pub started: SimTime,
     pub killed: SimTime,
@@ -54,7 +56,7 @@ pub struct KilledAttempt {
 /// Completed-run record. `started`/`finished`/`placement` describe the
 /// attempt that ran to completion; `attempts` lists every earlier
 /// placement a node failure killed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     pub job: Job,
     /// Killed-and-requeued placements, in order, before the one that ran.

@@ -1,0 +1,1532 @@
+//! `sched::service` — the batch scheduler grown into a long-running,
+//! multi-tenant service with admission control and graceful degradation.
+//!
+//! The batch path ([`super::run_with_faults`]) assumes a finite job list
+//! and an unbounded queue: overload just grows the queue and stretches
+//! waits. A shared facility (the consortium's actual operating mode —
+//! the Cluster Computing White Paper catalogs the same concerns) needs
+//! the opposite: a sustained submission stream from thousands of
+//! tenants, *bounded* queues with typed backpressure, per-tenant
+//! quotas, and deterministic retry when the fault layer kills work.
+//!
+//! The pipeline, per submission:
+//!
+//! ```text
+//!  Arrive ──▶ shard buffer ──▶ admission ──▶ pending queue ──▶ placement
+//!              (bounded,        │ Unrunnable   (bounded,         │ first-fit
+//!               per-shard)      │ QuotaExceeded  ordered)        │ + backfill
+//!                               │ QueueFull /                    ▼
+//!                               ▼ shed tiers                  running ──▶ Completed
+//!                            Rejected                            │ fault
+//!                                                                ▼
+//!                                               backoff timer ◀─ killed
+//!                                               (capped, jittered,
+//!                                                budgeted) ──▶ Failed
+//! ```
+//!
+//! Determinism: the service is a plain DES on the shared calendar —
+//! every decision is a pure function of `(trace, config, fault plan)`,
+//! retry jitter included ([`des::backoff::Backoff`] is seeded). With
+//! immediate admission (`admit_every == 0`), under-capacity zero-fault
+//! runs replay the batch scheduler's event sequence exactly:
+//! [`assert_batch_equivalent`] checks the schedules bit-for-bit and is
+//! run by both the property tests and the `bench-sched --smoke` gate.
+//!
+//! Accounting is exact: node-time is integrated in integer node-ns over
+//! every event, so `useful + lost_to_kills + dead + idle == total` is an
+//! equality of `u128`s, not an approximation (see [`NodeTime`]).
+
+use super::{Job, JobRecord, KilledAttempt, Policy};
+use crate::partition::{MeshSpace, SubMesh};
+use des::backoff::Backoff;
+use des::faults::FaultPlan;
+use des::queue::EventQueue;
+use des::rng::Rng;
+use des::stats::{Histogram, Summary};
+use des::time::{Dur, SimTime};
+use hpcc_trace::{names, NullRecorder, Recorder, TrackId};
+use std::collections::{HashMap, HashSet};
+
+/// Scheduling class; the load shedder rejects the lowest class first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    Low,
+    Normal,
+    High,
+}
+
+impl Priority {
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One job submission on the service's ingest stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Submission {
+    /// Dense index; doubles as the job id.
+    pub id: usize,
+    pub tenant: usize,
+    pub priority: Priority,
+    /// Requested sub-mesh shape (rows, cols).
+    pub shape: (usize, usize),
+    pub runtime: Dur,
+    pub arrival: SimTime,
+}
+
+impl Submission {
+    pub fn nodes(&self) -> usize {
+        self.shape.0 * self.shape.1
+    }
+
+    /// The batch-scheduler view of this submission (`partner` = tenant).
+    pub fn as_job(&self) -> Job {
+        Job {
+            id: self.id,
+            shape: self.shape,
+            runtime: self.runtime,
+            arrival: self.arrival,
+            partner: self.tenant,
+        }
+    }
+}
+
+/// Typed backpressure: why admission refused a submission. These are
+/// returned to the tenant instead of growing any queue without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// A bounded queue (shard buffer, or the pending queue via a shed
+    /// tier) refused the submission. `depth` is the occupancy observed.
+    QueueFull { shard: usize, depth: usize },
+    /// Admitting would push the tenant past its in-flight node quota.
+    QuotaExceeded { tenant: usize, quota: usize },
+    /// The requested shape can never fit the machine (even rotated).
+    Unrunnable { shape: (usize, usize) },
+}
+
+/// Exactly-one terminal state per submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Ran to completion (possibly after fault-kill retries).
+    Completed,
+    /// Killed by faults more times than the retry budget allows.
+    Failed,
+    /// Refused at admission with the given typed error.
+    Rejected(AdmissionError),
+}
+
+/// How the pending queue is ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Strict (arrival, id) order — the batch scheduler's order.
+    Arrival,
+    /// Fair share: tenants with less accumulated node-time go first
+    /// (usage snapshotted at admission; ties broken by arrival, id).
+    FairShare,
+}
+
+/// Occupancy thresholds (fractions of `pending_cap`) above which each
+/// priority class is shed. `Low` goes first, `High` last; a threshold
+/// of 1.0 means the class is only refused when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedTiers(pub [f64; 3]);
+
+impl Default for ShedTiers {
+    fn default() -> ShedTiers {
+        ShedTiers([0.50, 0.75, 1.0])
+    }
+}
+
+/// Retry policy for fault-killed jobs: capped, jittered exponential
+/// backoff, and a budget after which the job is retired as `Failed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    /// Kills tolerated before the job is retired (0 = never retry).
+    pub budget: u32,
+    pub backoff: Backoff,
+}
+
+impl Default for RetryBudget {
+    fn default() -> RetryBudget {
+        RetryBudget {
+            budget: 3,
+            backoff: Backoff {
+                base: Dur::from_secs(1),
+                cap: Dur::from_secs(60),
+                jitter: 0.20,
+                seed: 0x5EED,
+            },
+        }
+    }
+}
+
+/// Service configuration. [`ServiceConfig::new`] gives production-style
+/// bounds; [`ServiceConfig::batch_equivalent`] removes every limit so
+/// the service reduces exactly to the batch scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    pub rows: usize,
+    pub cols: usize,
+    /// Placement scan policy (FCFS head-blocking vs aggressive backfill).
+    pub policy: Policy,
+    /// Pending-queue order.
+    pub order: Order,
+    /// Submission queues; tenants hash onto shards round-robin.
+    pub shards: usize,
+    /// Bound on each shard's ingest buffer.
+    pub shard_cap: usize,
+    /// Bound on the central pending queue (shed tiers key off this).
+    pub pending_cap: usize,
+    /// Admission cadence. `Dur::ZERO` admits at arrival (the batch-
+    /// equivalent mode); otherwise shard buffers drain in batches on
+    /// this boundary, amortizing the placement scan.
+    pub admit_every: Dur,
+    /// Failed placement probes per scan before giving up (bounds the
+    /// cost of one `try_start` pass under deep queues). Only real
+    /// allocator probes count; entries skipped via the shape cache or
+    /// the free-node check are free.
+    pub backfill_depth: usize,
+    /// Default per-tenant in-flight node quota (pending + running +
+    /// awaiting retry). Override per tenant via quota updates.
+    pub quota_default: usize,
+    pub retry: RetryBudget,
+    pub shed: ShedTiers,
+    /// Keep full per-job [`JobRecord`]s (memory ∝ jobs; tests and the
+    /// equivalence gate need them, million-job benches do not).
+    pub keep_records: bool,
+}
+
+impl ServiceConfig {
+    /// Production-style defaults on a `rows × cols` mesh.
+    pub fn new(rows: usize, cols: usize) -> ServiceConfig {
+        ServiceConfig {
+            rows,
+            cols,
+            policy: Policy::Backfill,
+            order: Order::Arrival,
+            shards: 8,
+            shard_cap: 4096,
+            pending_cap: 4096,
+            admit_every: Dur::ZERO,
+            backfill_depth: 64,
+            quota_default: usize::MAX,
+            retry: RetryBudget::default(),
+            shed: ShedTiers::default(),
+            keep_records: false,
+        }
+    }
+
+    /// No bounds, no batching, no quotas: the configuration under which
+    /// a zero-fault run is bit-identical to [`super::run_with_faults`].
+    pub fn batch_equivalent(rows: usize, cols: usize, policy: Policy) -> ServiceConfig {
+        ServiceConfig {
+            policy,
+            shard_cap: usize::MAX,
+            pending_cap: usize::MAX,
+            backfill_depth: usize::MAX,
+            keep_records: true,
+            ..ServiceConfig::new(rows, cols)
+        }
+    }
+}
+
+/// The replayable input stream: submissions plus mid-run quota changes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceTrace {
+    pub subs: Vec<Submission>,
+    /// `(at, tenant, new_quota)` — applied at simulated time `at`.
+    pub quota_updates: Vec<(SimTime, usize, usize)>,
+}
+
+impl ServiceTrace {
+    /// The equivalent batch-scheduler job list.
+    pub fn as_jobs(&self) -> Vec<Job> {
+        self.subs.iter().map(Submission::as_job).collect()
+    }
+}
+
+/// Exact node-time ledger in integer node-nanoseconds, integrated over
+/// every event up to the last one (`span`). The conservation identity
+/// `useful + lost_to_kills + dead + idle == total` holds as a `u128`
+/// equality on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeTime {
+    /// `nodes × span` — everything there was.
+    pub total: u128,
+    /// Node-time of runs that completed.
+    pub useful: u128,
+    /// Partial work thrown away by fault kills.
+    pub lost_to_kills: u128,
+    /// Node-time spent permanently failed.
+    pub dead: u128,
+    /// The remainder: allocatable but unallocated.
+    pub idle: u128,
+}
+
+impl NodeTime {
+    /// The conservation identity, exactly.
+    pub fn balanced(&self) -> bool {
+        self.useful + self.lost_to_kills + self.dead + self.idle == self.total
+    }
+}
+
+/// Aggregate outcome of one service run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    pub submitted: usize,
+    pub completed: usize,
+    /// Retired after exhausting the retry budget.
+    pub failed: usize,
+    /// QueueFull rejections per priority class (shed tiers + full queues).
+    pub shed: [u64; 3],
+    pub quota_rejects: u64,
+    pub unrunnable: u64,
+    /// Retries scheduled after fault kills.
+    pub retries: u64,
+    /// Placements killed by node crashes.
+    pub jobs_killed: u64,
+    pub nodes_failed: usize,
+    /// Last Finish/Fault event (batch-compatible makespan).
+    pub makespan: Dur,
+    /// Last event of any kind (service lifetime; node-time integrates
+    /// to here).
+    pub span: Dur,
+    /// `useful / (nodes × makespan)`.
+    pub utilization: f64,
+    pub utilization_lost_to_faults: f64,
+    pub mean_wait: Dur,
+    pub p99_wait: Dur,
+    pub max_wait: Dur,
+    /// High-water marks — proof the queues stayed bounded.
+    pub max_pending: usize,
+    pub max_shard_depth: usize,
+    pub events: u64,
+    pub node_time: NodeTime,
+    /// Terminal state per submission, indexed by submission id.
+    pub outcomes: Vec<Outcome>,
+    /// Full per-job records (only when `keep_records`), in id order.
+    pub records: Vec<JobRecord>,
+}
+
+impl ServiceReport {
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    pub fn rejected_total(&self) -> u64 {
+        self.shed_total() + self.quota_rejects + self.unrunnable
+    }
+}
+
+enum Ev {
+    Arrive(usize),
+    /// Batched admission: drain shard `s`'s buffer into pending.
+    Admit(usize),
+    /// Job index + attempt; stale attempts are ignored.
+    Finish(usize, u32),
+    Fault(usize),
+    /// Backoff expired: re-queue the job for another attempt.
+    Retry(usize, u32),
+    QuotaSet(usize, usize),
+}
+
+struct RunningJob {
+    idx: usize,
+    attempt: u32,
+    started: SimTime,
+    placement: SubMesh,
+}
+
+/// Pending-queue sort key: (usage snapshot, arrival, id). `Arrival`
+/// order zeroes the usage component.
+type Key = (u128, u64, u64);
+
+struct Svc<'a> {
+    cfg: &'a ServiceConfig,
+    subs: &'a [Submission],
+    q: EventQueue<Ev>,
+    space: MeshSpace,
+    /// Ingest buffers (submission indices, arrival order).
+    shard_buf: Vec<Vec<usize>>,
+    /// An Admit event is already scheduled for this shard.
+    shard_armed: Vec<bool>,
+    /// Ordered pending queue.
+    pending: Vec<(Key, usize)>,
+    running: Vec<RunningJob>,
+    attempt_of: Vec<u32>,
+    outcome: Vec<Option<Outcome>>,
+    killed: Vec<Vec<KilledAttempt>>,
+    records: Vec<Option<JobRecord>>,
+    /// Per-tenant state (dense by tenant id).
+    quota: Vec<usize>,
+    inflight_nodes: Vec<usize>,
+    used_node_ns: Vec<u128>,
+    failed_node: Vec<bool>,
+    /// Σ nodes of live placements.
+    in_use: usize,
+    failed_count: usize,
+    /// Shapes (normalized) proven not to fit since the last free.
+    shape_blocked: HashSet<(usize, usize)>,
+    /// Normalized shape → count of pending entries carrying it.
+    pending_shapes: HashMap<(usize, usize), usize>,
+    /// Shapes proven unable to *ever* fit the surviving mesh. Fail-stop
+    /// nodes never return, so this only grows.
+    dead_shapes: HashSet<(usize, usize)>,
+    /// Fair-share keys are stale (some tenant's usage changed).
+    fair_dirty: bool,
+    // --- exact node-time integration ---
+    prev: SimTime,
+    acc: NodeTime,
+    // --- counters ---
+    completed: usize,
+    failed: usize,
+    shed: [u64; 3],
+    quota_rejects: u64,
+    unrunnable: u64,
+    retries: u64,
+    jobs_killed: u64,
+    makespan: Dur,
+    max_pending: usize,
+    max_shard_depth: usize,
+    waits: Summary,
+    wait_hist: Histogram,
+    max_wait: Dur,
+    // --- tracing ---
+    rec: &'a dyn Recorder,
+    rec_on: bool,
+    svc_track: TrackId,
+    tenant_track: Vec<Option<TrackId>>,
+    tenant_admits: Vec<u64>,
+    tenant_rejects: Vec<u64>,
+    tenant_retries: Vec<u64>,
+}
+
+/// Does `shape` fit an empty `rows × cols` mesh, rotation allowed?
+fn fits_machine(shape: (usize, usize), rows: usize, cols: usize) -> bool {
+    let (r, c) = shape;
+    (r <= rows && c <= cols) || (c <= rows && r <= cols)
+}
+
+#[inline]
+fn norm_shape(shape: (usize, usize)) -> (usize, usize) {
+    let (r, c) = shape;
+    (r.min(c), r.max(c))
+}
+
+impl<'a> Svc<'a> {
+    fn total_nodes(&self) -> usize {
+        self.cfg.rows * self.cfg.cols
+    }
+
+    fn free_avail(&self) -> usize {
+        self.total_nodes() - self.failed_count - self.in_use
+    }
+
+    /// Integrate node-time up to `now` (call before mutating state).
+    fn integrate_to(&mut self, now: SimTime) {
+        let dt = (now - self.prev).nanos() as u128;
+        if dt > 0 {
+            let busy = self.in_use as u128;
+            let dead = self.failed_count as u128;
+            let idle = (self.total_nodes() - self.in_use - self.failed_count) as u128;
+            self.acc.total += (self.total_nodes() as u128) * dt;
+            self.acc.dead += dead * dt;
+            self.acc.idle += idle * dt;
+            // Busy time is attributed to useful/lost at Finish/Fault; the
+            // integral is tracked implicitly as total - dead - idle.
+            let _ = busy;
+            self.prev = now;
+        } else {
+            self.prev = now;
+        }
+    }
+
+    fn settle(&mut self, idx: usize, outcome: Outcome) {
+        assert!(
+            self.outcome[idx].is_none(),
+            "submission {idx} reached a second terminal state {outcome:?}"
+        );
+        self.outcome[idx] = Some(outcome);
+    }
+
+    fn tenant_track(&mut self, tenant: usize) -> TrackId {
+        match self.tenant_track[tenant] {
+            Some(t) => t,
+            None => {
+                let t = self
+                    .rec
+                    .track(names::SCHED_SVC, &format!("tenant {tenant}"));
+                self.tenant_track[tenant] = Some(t);
+                t
+            }
+        }
+    }
+
+    fn trace_tenant(&mut self, tenant: usize) {
+        if !self.rec_on {
+            return;
+        }
+        let now = self.q.now().nanos();
+        let track = self.tenant_track(tenant);
+        self.rec
+            .counter(track, "admits", now, self.tenant_admits[tenant] as f64);
+        self.rec
+            .counter(track, "rejects", now, self.tenant_rejects[tenant] as f64);
+        self.rec
+            .counter(track, "retries", now, self.tenant_retries[tenant] as f64);
+    }
+
+    fn reject(&mut self, idx: usize, err: AdmissionError) {
+        let sub = &self.subs[idx];
+        match err {
+            AdmissionError::QueueFull { .. } => self.shed[sub.priority.index()] += 1,
+            AdmissionError::QuotaExceeded { .. } => self.quota_rejects += 1,
+            AdmissionError::Unrunnable { .. } => self.unrunnable += 1,
+        }
+        let tenant = sub.tenant;
+        self.tenant_rejects[tenant] += 1;
+        self.settle(idx, Outcome::Rejected(err));
+        if self.rec_on {
+            let now = self.q.now().nanos();
+            let track = self.svc_track;
+            self.rec.instant(track, "reject", "rejected", now);
+            self.trace_tenant(tenant);
+        }
+    }
+
+    /// Ordered insert into the pending queue (FIFO among equal keys).
+    fn enqueue_pending(&mut self, idx: usize) {
+        let sub = &self.subs[idx];
+        let usage = match self.cfg.order {
+            Order::Arrival => 0,
+            Order::FairShare => self.used_node_ns[sub.tenant],
+        };
+        let key: Key = (usage, sub.arrival.nanos(), sub.id as u64);
+        let at = self.pending.partition_point(|(k, _)| *k <= key);
+        *self
+            .pending_shapes
+            .entry(norm_shape(sub.shape))
+            .or_insert(0) += 1;
+        self.pending.insert(at, (key, idx));
+        self.max_pending = self.max_pending.max(self.pending.len());
+    }
+
+    /// Bookkeeping for an entry leaving the pending queue.
+    fn note_unqueued(&mut self, shape: (usize, usize)) {
+        let key = norm_shape(shape);
+        let cnt = self
+            .pending_shapes
+            .get_mut(&key)
+            .expect("pending shape count underflow");
+        *cnt -= 1;
+        if *cnt == 0 {
+            self.pending_shapes.remove(&key);
+        }
+    }
+
+    /// An empty mesh with the current crash set applied: what could
+    /// *ever* be placed again.
+    fn survivor_space(&self) -> MeshSpace {
+        let mut probe = MeshSpace::new(self.cfg.rows, self.cfg.cols);
+        for (node, dead) in self.failed_node.iter().enumerate() {
+            if *dead {
+                probe.fail_node(node);
+            }
+        }
+        probe
+    }
+
+    /// Shapes with at least one pending entry that could be placed right
+    /// now: not proven blocked since the last free, and within the free
+    /// node count.
+    fn startable_shapes(&self) -> HashSet<(usize, usize)> {
+        let free = self.free_avail();
+        self.pending_shapes
+            .keys()
+            .filter(|&&(r, c)| r * c <= free && !self.shape_blocked.contains(&(r, c)))
+            .copied()
+            .collect()
+    }
+
+    /// Move one submission from its shard buffer through admission.
+    fn admit_one(&mut self, idx: usize, shard: usize) {
+        let sub = self.subs[idx];
+        if !fits_machine(sub.shape, self.cfg.rows, self.cfg.cols)
+            || self.dead_shapes.contains(&norm_shape(sub.shape))
+        {
+            self.reject(idx, AdmissionError::Unrunnable { shape: sub.shape });
+            return;
+        }
+        let quota = self.quota[sub.tenant];
+        let nodes = sub.nodes();
+        if self.inflight_nodes[sub.tenant].saturating_add(nodes) > quota {
+            self.reject(
+                idx,
+                AdmissionError::QuotaExceeded {
+                    tenant: sub.tenant,
+                    quota,
+                },
+            );
+            return;
+        }
+        // Shed tiers: lowest priority is turned away first as the
+        // pending queue fills; a full queue refuses every class.
+        let depth = self.pending.len();
+        let full = depth >= self.cfg.pending_cap;
+        let tiered = !full
+            && self.cfg.pending_cap != usize::MAX
+            && (depth as f64 / self.cfg.pending_cap as f64)
+                >= self.cfg.shed.0[sub.priority.index()];
+        if full || tiered {
+            self.reject(idx, AdmissionError::QueueFull { shard, depth });
+            return;
+        }
+        self.inflight_nodes[sub.tenant] += nodes;
+        self.tenant_admits[sub.tenant] += 1;
+        self.enqueue_pending(idx);
+        if self.rec_on {
+            self.trace_tenant(sub.tenant);
+        }
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        let buf = std::mem::take(&mut self.shard_buf[shard]);
+        for idx in buf {
+            self.admit_one(idx, shard);
+        }
+    }
+
+    /// Start every pending job the policy allows. Faithful to the batch
+    /// scheduler's scan (front-first, restart on success, FCFS breaks at
+    /// the first refusal) with pure optimizations that cannot change
+    /// placements: a free-node quick reject, a cache of shapes that
+    /// failed a full probe since the last free (occupancy only grows
+    /// between frees, so a failed shape stays failed), and an early exit
+    /// once no shape remaining in the queue could start.
+    fn try_start(&mut self) {
+        if self.cfg.order == Order::FairShare && self.fair_dirty {
+            // Usage moved since the queue was last ordered: re-key every
+            // entry from current tenant usage and stable-sort, so tenants
+            // that consumed node-time sink behind fresher ones.
+            for (key, idx) in self.pending.iter_mut() {
+                key.0 = self.used_node_ns[self.subs[*idx].tenant];
+            }
+            self.pending.sort_by_key(|&(key, _)| key);
+            self.fair_dirty = false;
+        }
+        let now = self.q.now();
+        // Only real allocator probes consume the backfill budget; entries
+        // whose shape already failed this epoch (or exceeds the free-node
+        // count) are skipped in O(1), and the scan ends outright once no
+        // shape left in the queue could start. Without this, a run of
+        // un-placeable entries at the front of a deep queue exhausts the
+        // budget and wedges the machine even when placeable work waits
+        // just behind them.
+        let mut startable = self.startable_shapes();
+        let mut i = 0;
+        let mut probes = 0usize;
+        while i < self.pending.len() && probes < self.cfg.backfill_depth && !startable.is_empty() {
+            let idx = self.pending[i].1;
+            let (r, c) = self.subs[idx].shape;
+            let key = norm_shape((r, c));
+            if !startable.contains(&key) {
+                // Known not to fit right now. FCFS still stops at the
+                // head — a refused head is the policy's break signal.
+                match self.cfg.policy {
+                    Policy::Fcfs => break,
+                    Policy::Backfill => {
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            match self.space.allocate(r, c, true) {
+                Some(sm) => {
+                    let nodes = r * c;
+                    self.pending.remove(i);
+                    self.note_unqueued((r, c));
+                    self.in_use += nodes;
+                    let attempt = self.attempt_of[idx];
+                    self.q
+                        .schedule(now + self.subs[idx].runtime, Ev::Finish(idx, attempt));
+                    self.running.push(RunningJob {
+                        idx,
+                        attempt,
+                        started: now,
+                        placement: sm,
+                    });
+                    i = 0;
+                    probes = 0;
+                    startable = self.startable_shapes();
+                }
+                None => {
+                    self.shape_blocked.insert(key);
+                    startable.remove(&key);
+                    probes += 1;
+                    match self.cfg.policy {
+                        Policy::Fcfs => break,
+                        Policy::Backfill => i += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_finish(&mut self, idx: usize, attempt: u32) {
+        if attempt != self.attempt_of[idx] {
+            return; // this placement was killed; a retry owns the job now
+        }
+        let now = self.q.now();
+        let pos = self
+            .running
+            .iter()
+            .position(|rj| rj.idx == idx && rj.attempt == attempt)
+            .expect("finishing job is running");
+        let entry = self.running.swap_remove(pos);
+        let sub = self.subs[idx];
+        let nodes = sub.nodes();
+        let work = (nodes as u128) * (sub.runtime.nanos() as u128);
+        self.acc.useful += work;
+        self.used_node_ns[sub.tenant] += work;
+        self.fair_dirty = true;
+        self.in_use -= nodes;
+        self.inflight_nodes[sub.tenant] -= nodes;
+        self.makespan = self.makespan.max(now - SimTime::ZERO);
+        self.space.free(entry.placement);
+        self.shape_blocked.clear();
+        let wait = entry.started - sub.arrival;
+        self.waits.add_dur(wait);
+        self.wait_hist.add(wait.as_secs_f64());
+        self.max_wait = self.max_wait.max(wait);
+        self.completed += 1;
+        self.settle(idx, Outcome::Completed);
+        if self.cfg.keep_records {
+            self.records[idx] = Some(JobRecord {
+                job: sub.as_job(),
+                attempts: std::mem::take(&mut self.killed[idx]),
+                started: entry.started,
+                finished: now,
+                placement: entry.placement,
+            });
+        }
+    }
+
+    fn on_fault(&mut self, node: usize) {
+        if self.failed_node[node] {
+            return; // scripted plans may repeat a crash; fail-stop is once
+        }
+        let now = self.q.now();
+        self.failed_node[node] = true;
+        let victim = self.space.allocation_containing(node);
+        self.space.fail_node(node);
+        self.failed_count += 1;
+        self.makespan = self.makespan.max(now - SimTime::ZERO);
+        if let Some(sm) = victim {
+            let pos = self
+                .running
+                .iter()
+                .position(|rj| rj.placement == sm)
+                .expect("allocated sub-mesh has a running job");
+            let entry = self.running.swap_remove(pos);
+            let idx = entry.idx;
+            let sub = self.subs[idx];
+            let nodes = sub.nodes();
+            let partial = (nodes as u128) * ((now - entry.started).nanos() as u128);
+            self.acc.lost_to_kills += partial;
+            self.used_node_ns[sub.tenant] += partial;
+            self.fair_dirty = true;
+            self.in_use -= nodes;
+            self.space.free(sm);
+            self.shape_blocked.clear();
+            self.jobs_killed += 1;
+            self.attempt_of[idx] += 1;
+            if self.cfg.keep_records {
+                self.killed[idx].push(KilledAttempt {
+                    started: entry.started,
+                    killed: now,
+                    placement: sm,
+                });
+            }
+            let kills = self.attempt_of[idx];
+            if kills > self.cfg.retry.budget {
+                // Retry budget exhausted: retire, release the quota.
+                self.inflight_nodes[sub.tenant] -= nodes;
+                self.failed += 1;
+                self.settle(idx, Outcome::Failed);
+                if self.rec_on {
+                    self.rec
+                        .instant(self.svc_track, "fault", "job_failed", now.nanos());
+                }
+            } else {
+                // Deterministic capped backoff + jitter, streamed by job
+                // id so co-killed jobs don't retry in lockstep.
+                self.retries += 1;
+                self.tenant_retries[sub.tenant] += 1;
+                let delay = self.cfg.retry.backoff.delay(idx as u64, kills);
+                self.q.schedule(now + delay, Ev::Retry(idx, kills));
+                if self.rec_on {
+                    self.rec
+                        .instant(self.svc_track, "fault", "retry_scheduled", now.nanos());
+                    self.trace_tenant(sub.tenant);
+                }
+            }
+        }
+        // Retire pending work the shrunken mesh can never host again —
+        // left queued it would hold its slot and quota forever, and a
+        // run of such entries at the queue front starves everything
+        // behind it. Dead shapes also reject at admission from here on.
+        let newly_dead: Vec<(usize, usize)> = {
+            let probe = self.survivor_space();
+            self.pending_shapes
+                .keys()
+                .filter(|&&(r, c)| probe.clone().allocate(r, c, true).is_none())
+                .copied()
+                .collect()
+        };
+        if !newly_dead.is_empty() {
+            self.dead_shapes.extend(newly_dead.iter().copied());
+            let taken = std::mem::take(&mut self.pending);
+            for (key, idx) in taken {
+                let sub = self.subs[idx];
+                if self.dead_shapes.contains(&norm_shape(sub.shape)) {
+                    self.note_unqueued(sub.shape);
+                    self.inflight_nodes[sub.tenant] -= sub.nodes();
+                    self.reject(idx, AdmissionError::Unrunnable { shape: sub.shape });
+                } else {
+                    self.pending.push((key, idx));
+                }
+            }
+        }
+        if self.rec_on {
+            self.rec
+                .instant(self.svc_track, "fault", "node_fault", now.nanos());
+        }
+    }
+
+    fn on_retry(&mut self, idx: usize, attempt: u32) {
+        if attempt != self.attempt_of[idx] {
+            return;
+        }
+        debug_assert!(self.outcome[idx].is_none());
+        // Retries re-enter pending directly: the job already holds
+        // quota, and the retry population is bounded by machine capacity
+        // (only running jobs can be killed), so this cannot grow the
+        // queue without bound.
+        self.enqueue_pending(idx);
+    }
+
+    fn on_arrive(&mut self, idx: usize) {
+        let sub = self.subs[idx];
+        let shard = if self.cfg.shards <= 1 {
+            0
+        } else {
+            sub.tenant % self.cfg.shards
+        };
+        if self.shard_buf[shard].len() >= self.cfg.shard_cap {
+            self.reject(
+                idx,
+                AdmissionError::QueueFull {
+                    shard,
+                    depth: self.shard_buf[shard].len(),
+                },
+            );
+            return;
+        }
+        self.shard_buf[shard].push(idx);
+        self.max_shard_depth = self.max_shard_depth.max(self.shard_buf[shard].len());
+        if self.cfg.admit_every == Dur::ZERO {
+            // Immediate admission: flush inline so the event sequence is
+            // exactly the batch scheduler's (no extra calendar entries).
+            self.flush_shard(shard);
+        } else if !self.shard_armed[shard] {
+            self.shard_armed[shard] = true;
+            let every = self.cfg.admit_every.nanos();
+            let now = self.q.now().nanos();
+            let boundary = now.div_ceil(every).saturating_mul(every);
+            self.q.schedule(SimTime(boundary), Ev::Admit(shard));
+        }
+    }
+
+    fn trace_queues(&self) {
+        if !self.rec_on {
+            return;
+        }
+        let now = self.q.now().nanos();
+        let t = self.svc_track;
+        self.rec
+            .counter(t, "pending_jobs", now, self.pending.len() as f64);
+        self.rec
+            .counter(t, "running_jobs", now, self.running.len() as f64);
+        let shard_depth: usize = self.shard_buf.iter().map(Vec::len).sum();
+        self.rec.counter(t, "shard_depth", now, shard_depth as f64);
+        self.rec
+            .counter(t, "shed_total", now, self.shed.iter().sum::<u64>() as f64);
+        self.rec.counter(t, "retries", now, self.retries as f64);
+    }
+}
+
+/// Run the service over a trace with no faults.
+pub fn run(trace: &ServiceTrace, cfg: &ServiceConfig) -> ServiceReport {
+    run_with_faults(trace, cfg, &FaultPlan::none())
+}
+
+/// Run the service over a trace under a [`FaultPlan`].
+pub fn run_with_faults(
+    trace: &ServiceTrace,
+    cfg: &ServiceConfig,
+    plan: &FaultPlan,
+) -> ServiceReport {
+    run_recorded(trace, cfg, plan, &NullRecorder)
+}
+
+/// Run the service with a trace recorder attached (pure observer:
+/// recorded runs are bit-identical to unrecorded ones). The recorder
+/// carries service-level counters (queue depths, running jobs, sheds,
+/// retries) and per-tenant admit/reject/retry counters.
+pub fn run_recorded(
+    trace: &ServiceTrace,
+    cfg: &ServiceConfig,
+    plan: &FaultPlan,
+    rec: &dyn Recorder,
+) -> ServiceReport {
+    let mut subs = trace.subs.clone();
+    subs.sort_by_key(|s| (s.arrival, s.id));
+    let n = subs.len();
+    let nodes_total = cfg.rows * cfg.cols;
+    assert!(nodes_total > 0, "service needs a machine");
+    let n_tenants = subs
+        .iter()
+        .map(|s| s.tenant)
+        .chain(trace.quota_updates.iter().map(|&(_, t, _)| t))
+        .max()
+        .map_or(0, |t| t + 1);
+    let shards = cfg.shards.max(1);
+
+    let rec_on = rec.is_enabled();
+    let svc_track = if rec_on {
+        rec.track(names::SCHED_SVC, "service")
+    } else {
+        0
+    };
+
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity(n + plan.len() + 16);
+    for (i, s) in subs.iter().enumerate() {
+        q.schedule(s.arrival, Ev::Arrive(i));
+    }
+    let mut quota_updates = trace.quota_updates.clone();
+    quota_updates.sort_by_key(|&(at, t, _)| (at, t));
+    for &(at, tenant, quota) in &quota_updates {
+        q.schedule(at, Ev::QuotaSet(tenant, quota));
+    }
+    for (at, node) in plan.node_crashes() {
+        assert!(node < nodes_total, "fault plan targets node {node}");
+        q.schedule(at, Ev::Fault(node));
+    }
+
+    let mut svc = Svc {
+        cfg,
+        subs: &subs,
+        q,
+        space: MeshSpace::new(cfg.rows, cfg.cols),
+        shard_buf: vec![Vec::new(); shards],
+        shard_armed: vec![false; shards],
+        pending: Vec::new(),
+        running: Vec::new(),
+        attempt_of: vec![0; n],
+        outcome: vec![None; n],
+        killed: vec![Vec::new(); if cfg.keep_records { n } else { 0 }],
+        records: vec![None; if cfg.keep_records { n } else { 0 }],
+        quota: vec![cfg.quota_default; n_tenants],
+        inflight_nodes: vec![0; n_tenants],
+        used_node_ns: vec![0; n_tenants],
+        failed_node: vec![false; nodes_total],
+        in_use: 0,
+        failed_count: 0,
+        shape_blocked: HashSet::new(),
+        pending_shapes: HashMap::new(),
+        dead_shapes: HashSet::new(),
+        fair_dirty: false,
+        prev: SimTime::ZERO,
+        acc: NodeTime::default(),
+        completed: 0,
+        failed: 0,
+        shed: [0; 3],
+        quota_rejects: 0,
+        unrunnable: 0,
+        retries: 0,
+        jobs_killed: 0,
+        makespan: Dur::ZERO,
+        max_pending: 0,
+        max_shard_depth: 0,
+        waits: Summary::new(),
+        // 10-second buckets out to 4 simulated hours of queueing; the
+        // overflow bucket catches pathological waits.
+        wait_hist: Histogram::new(0.0, 14_400.0, 1_440),
+        max_wait: Dur::ZERO,
+        rec,
+        rec_on,
+        svc_track,
+        tenant_track: vec![None; if rec_on { n_tenants } else { 0 }],
+        tenant_admits: vec![0; n_tenants],
+        tenant_rejects: vec![0; n_tenants],
+        tenant_retries: vec![0; n_tenants],
+    };
+
+    loop {
+        while let Some((at, ev)) = svc.q.pop() {
+            svc.integrate_to(at);
+            match ev {
+                Ev::Arrive(i) => svc.on_arrive(i),
+                Ev::Admit(s) => {
+                    svc.shard_armed[s] = false;
+                    svc.flush_shard(s);
+                }
+                Ev::Finish(i, a) => svc.on_finish(i, a),
+                Ev::Fault(node) => svc.on_fault(node),
+                Ev::Retry(i, a) => svc.on_retry(i, a),
+                Ev::QuotaSet(tenant, quota) => svc.quota[tenant] = quota,
+            }
+            svc.try_start();
+            svc.trace_queues();
+        }
+        // Calendar drained. Anything still pending cannot be waiting on
+        // a Finish — nothing is running — so it either fits (start it)
+        // or no longer fits the fault-shrunk mesh (retire it as
+        // Unrunnable instead of blocking the queue forever).
+        if svc.pending.is_empty() {
+            break;
+        }
+        debug_assert!(svc.running.is_empty() && svc.space.allocations().is_empty());
+        let stuck: Vec<(Key, usize)> = std::mem::take(&mut svc.pending);
+        for (key, idx) in stuck {
+            let (r, c) = svc.subs[idx].shape;
+            if svc.space.clone().allocate(r, c, true).is_some() {
+                svc.pending.push((key, idx));
+            } else {
+                let sub = svc.subs[idx];
+                svc.note_unqueued(sub.shape);
+                svc.inflight_nodes[sub.tenant] -= sub.nodes();
+                svc.reject(idx, AdmissionError::Unrunnable { shape: sub.shape });
+            }
+        }
+        if svc.pending.is_empty() {
+            break;
+        }
+        svc.shape_blocked.clear();
+        svc.try_start();
+    }
+
+    // Close the ledger: idle absorbs what is neither busy nor dead, and
+    // busy splits exactly into useful + lost.
+    let span = svc.q.now() - SimTime::ZERO;
+    debug_assert_eq!(
+        svc.acc.total - svc.acc.dead - svc.acc.idle,
+        svc.acc.useful + svc.acc.lost_to_kills,
+        "busy node-time must equal useful + lost"
+    );
+    let node_time = svc.acc;
+    assert!(node_time.balanced(), "node-time ledger out of balance");
+
+    // Re-index terminal states by submission id (subs were sorted by
+    // arrival above); every id must land exactly once.
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
+    for (i, o) in svc.outcome.iter().enumerate() {
+        let o = o.unwrap_or_else(|| panic!("submission {i} has no terminal state"));
+        let id = subs[i].id;
+        assert!(
+            id < n && outcomes[id].is_none(),
+            "submission ids must be dense and unique: {id}"
+        );
+        outcomes[id] = Some(o);
+    }
+    let outcomes: Vec<Outcome> = outcomes.into_iter().map(Option::unwrap).collect();
+    let denom = (nodes_total as f64) * svc.makespan.as_secs_f64();
+    let frac = |num: f64| if denom > 0.0 { num / denom } else { 0.0 };
+    ServiceReport {
+        submitted: n,
+        completed: svc.completed,
+        failed: svc.failed,
+        shed: svc.shed,
+        quota_rejects: svc.quota_rejects,
+        unrunnable: svc.unrunnable,
+        retries: svc.retries,
+        jobs_killed: svc.jobs_killed,
+        nodes_failed: svc.failed_count,
+        makespan: svc.makespan,
+        span,
+        utilization: frac(node_time.useful as f64 / 1e9),
+        utilization_lost_to_faults: frac(node_time.lost_to_kills as f64 / 1e9),
+        mean_wait: Dur::from_secs_f64(svc.waits.mean()),
+        p99_wait: Dur::from_secs_f64(svc.wait_hist.quantile(0.99).unwrap_or(0.0)),
+        max_wait: svc.max_wait,
+        max_pending: svc.max_pending,
+        max_shard_depth: svc.max_shard_depth,
+        events: svc.q.events_processed(),
+        node_time,
+        outcomes,
+        records: svc.records.into_iter().flatten().collect(),
+    }
+}
+
+/// A sustained multi-tenant stream: `n` submissions from `tenants`
+/// tenants at `load` times the machine's service capacity, heavy-tailed
+/// in every dimension — Pareto inter-arrivals (bursts), Pareto-indexed
+/// shapes (most jobs small, a fat tail of large frames), Pareto
+/// runtimes, and a skewed tenant-activity distribution. Deterministic
+/// in `(n, tenants, load, rows, cols, seed)`.
+pub fn service_workload(
+    n: usize,
+    tenants: usize,
+    load: f64,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+) -> ServiceTrace {
+    assert!(n > 0 && tenants > 0 && load > 0.0);
+    let mut rng = Rng::new(seed);
+    let shapes: [(usize, usize); 9] = [
+        (1, 1),
+        (1, 2),
+        (2, 2),
+        (2, 4),
+        (4, 4),
+        (4, 8),
+        (8, 8),
+        (8, 16),
+        (16, 16),
+    ];
+    // Draw shapes and runtimes first so the arrival clock can be scaled
+    // to hit the requested load exactly.
+    let mut drawn: Vec<((usize, usize), Dur, usize, Priority)> = Vec::with_capacity(n);
+    let mut total_work = 0.0f64;
+    for _ in 0..n {
+        let tail = rng.pareto(1.0, 1.1);
+        let mut si = tail.log2().floor() as usize;
+        si = si.min(shapes.len() - 1);
+        let shape = shapes[si];
+        let runtime = rng.pareto(30.0, 1.5).min(4.0 * 3600.0);
+        // Quadratic skew: low tenant ids submit most of the traffic.
+        let tenant = ((tenants as f64) * rng.next_f64().powi(2)) as usize % tenants;
+        let priority = match rng.below(20) {
+            0..=9 => Priority::Low,
+            10..=16 => Priority::Normal,
+            _ => Priority::High,
+        };
+        total_work += (shape.0 * shape.1) as f64 * runtime;
+        drawn.push((shape, Dur::from_secs_f64(runtime), tenant, priority));
+    }
+    // Horizon such that offered work = load × capacity over the stream.
+    let capacity = (rows * cols) as f64;
+    let horizon = total_work / (load * capacity);
+    let mean_gap = horizon / n as f64;
+    // Pareto(α=1.5) gaps with the right mean: xm = mean × (α−1)/α.
+    let xm = (mean_gap / 3.0).max(1e-9);
+    let mut t = 0.0f64;
+    let subs = drawn
+        .into_iter()
+        .enumerate()
+        .map(|(id, (shape, runtime, tenant, priority))| {
+            t += rng.pareto(xm, 1.5);
+            Submission {
+                id,
+                tenant,
+                priority,
+                shape,
+                runtime,
+                arrival: SimTime::from_secs_f64(t),
+            }
+        })
+        .collect();
+    ServiceTrace {
+        subs,
+        quota_updates: Vec::new(),
+    }
+}
+
+/// The batch-equivalence gate: on `trace` with no faults and no limits,
+/// the service must produce bit-for-bit the schedule the batch
+/// scheduler produces on the equivalent job list — same starts, same
+/// finishes, same placements, same makespan. Panics on any divergence.
+/// Run by the property tests and by `report bench-sched --smoke`.
+pub fn assert_batch_equivalent(trace: &ServiceTrace, rows: usize, cols: usize, policy: Policy) {
+    let cfg = ServiceConfig::batch_equivalent(rows, cols, policy);
+    let svc = run(trace, &cfg);
+    let batch = super::run_with_faults(rows, cols, trace.as_jobs(), policy, &FaultPlan::none());
+    assert_eq!(
+        svc.completed, batch.jobs,
+        "service completed {} jobs, batch {}",
+        svc.completed, batch.jobs
+    );
+    assert_eq!(svc.makespan, batch.makespan, "makespan diverged");
+    assert_eq!(svc.max_wait, batch.max_wait, "max wait diverged");
+    assert_eq!(
+        svc.records.len(),
+        batch.records.len(),
+        "record counts diverged"
+    );
+    for (s, b) in svc.records.iter().zip(&batch.records) {
+        assert_eq!(s, b, "schedule diverged on job {}", b.job.id);
+    }
+    assert!(
+        svc.outcomes.iter().all(|o| *o == Outcome::Completed),
+        "under-capacity zero-fault run must complete everything"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::faults::{FaultKind, MtbfModel};
+
+    fn sub(
+        id: usize,
+        tenant: usize,
+        shape: (usize, usize),
+        run_s: u64,
+        arrive_s: u64,
+    ) -> Submission {
+        Submission {
+            id,
+            tenant,
+            priority: Priority::Normal,
+            shape,
+            runtime: Dur::from_secs(run_s),
+            arrival: SimTime(arrive_s * 1_000_000_000),
+        }
+    }
+
+    fn trace(subs: Vec<Submission>) -> ServiceTrace {
+        ServiceTrace {
+            subs,
+            quota_updates: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn single_job_completes_like_batch() {
+        let tr = trace(vec![sub(0, 0, (2, 2), 100, 5)]);
+        let r = run(&tr, &ServiceConfig::new(4, 4));
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.outcomes, vec![Outcome::Completed]);
+        assert_eq!(r.makespan, Dur::from_secs(105));
+        assert!(r.node_time.balanced());
+        assert_eq!(r.node_time.useful, 4 * 100 * 1_000_000_000u128);
+    }
+
+    #[test]
+    fn batch_equivalence_on_consortium_style_stream() {
+        for policy in [Policy::Fcfs, Policy::Backfill] {
+            let tr = service_workload(300, 14, 0.6, 16, 33, 1992);
+            assert_batch_equivalent(&tr, 16, 33, policy);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let tr = service_workload(2_000, 50, 1.4, 16, 33, 7);
+        let cfg = ServiceConfig::new(16, 33);
+        let plan = FaultPlan::seeded(
+            11,
+            &MtbfModel::node_crashes(Dur::from_secs(50_000)),
+            528,
+            0,
+            Dur::from_secs(200_000),
+        );
+        let a = run_with_faults(&tr, &cfg, &plan);
+        let b = run_with_faults(&tr, &cfg, &plan);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.node_time, b.node_time);
+    }
+
+    #[test]
+    fn overload_sheds_low_priority_first_and_bounds_queues() {
+        let tr = service_workload(20_000, 200, 2.0, 16, 33, 3);
+        let mut cfg = ServiceConfig::new(16, 33);
+        cfg.pending_cap = 512;
+        cfg.shard_cap = 512;
+        let r = run(&tr, &cfg);
+        assert!(r.shed_total() > 0, "2x overload must shed");
+        assert!(
+            r.shed[Priority::Low.index()] >= r.shed[Priority::High.index()],
+            "low priority shed at least as much as high: {:?}",
+            r.shed
+        );
+        assert!(r.max_pending <= 512, "pending stayed bounded");
+        assert!(r.max_shard_depth <= 512, "shards stayed bounded");
+        // Conservation under shedding.
+        let rejected = r
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Rejected(_)))
+            .count() as u64;
+        assert_eq!(rejected, r.rejected_total());
+        assert_eq!(
+            r.completed + r.failed + rejected as usize,
+            r.submitted,
+            "every submission reaches exactly one terminal state"
+        );
+    }
+
+    #[test]
+    fn batched_admission_amortizes_but_keeps_totals() {
+        let tr = service_workload(5_000, 64, 0.8, 16, 33, 21);
+        let mut cfg = ServiceConfig::new(16, 33);
+        cfg.pending_cap = usize::MAX; // isolate batching from shedding
+        let immediate = run(&tr, &cfg);
+        cfg.admit_every = Dur::from_secs(30);
+        let batched = run(&tr, &cfg);
+        assert_eq!(
+            batched.completed + batched.rejected_total() as usize + batched.failed,
+            tr.subs.len()
+        );
+        // Batching delays admission but never loses work under capacity.
+        assert_eq!(immediate.completed, batched.completed);
+        assert_eq!(immediate.completed, tr.subs.len());
+        // The batched run pays extra Admit calendar entries, but each one
+        // drains a whole shard buffer (bounded by the shard high-water
+        // mark), instead of one admission pass per arrival.
+        assert!(batched.events > immediate.events);
+        assert!(batched.max_shard_depth > 1, "buffers actually batched");
+        assert_eq!(immediate.max_shard_depth, 1);
+    }
+
+    #[test]
+    fn retry_after_kill_then_failed_after_budget() {
+        // A 1x1 job on a 1x4 strip: first-fit restarts it on the next
+        // surviving node after each kill, and we crash that node too,
+        // until the retry budget (2) is exhausted on the third kill.
+        let mut cfg = ServiceConfig::new(1, 4);
+        cfg.retry.budget = 2;
+        cfg.retry.backoff = Backoff::exponential(Dur::from_secs(1), Dur::from_secs(4));
+        cfg.keep_records = true;
+        let tr = trace(vec![sub(0, 0, (1, 1), 1_000, 0)]);
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime(10 * 1_000_000_000),
+            FaultKind::NodeCrash { node: 0 },
+        );
+        plan.push(
+            SimTime(20 * 1_000_000_000),
+            FaultKind::NodeCrash { node: 1 },
+        );
+        plan.push(
+            SimTime(30 * 1_000_000_000),
+            FaultKind::NodeCrash { node: 2 },
+        );
+        let r = run_with_faults(&tr, &cfg, &plan);
+        assert_eq!(r.jobs_killed, 3);
+        assert_eq!(r.retries, 2, "budget of 2 retries consumed");
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.outcomes, vec![Outcome::Failed]);
+        assert!(r.node_time.balanced());
+        assert!(r.node_time.lost_to_kills > 0);
+        assert_eq!(r.nodes_failed, 3);
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_and_seeded() {
+        // A job killed once retries after base × jitter; the schedule
+        // replays exactly and respects the cap.
+        let mut cfg = ServiceConfig::new(4, 5);
+        cfg.retry.budget = 5;
+        cfg.retry.backoff = Backoff {
+            base: Dur::from_secs(100),
+            cap: Dur::from_secs(150),
+            jitter: 0.25,
+            seed: 9,
+        };
+        cfg.keep_records = true;
+        // 4x4 job on a 4x5 machine: after node 0 dies the job still fits
+        // (columns 1..4), so the retry restarts rather than retiring.
+        let tr = trace(vec![sub(0, 0, (4, 4), 500, 0)]);
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime(50 * 1_000_000_000),
+            FaultKind::NodeCrash { node: 0 },
+        );
+        let a = run_with_faults(&tr, &cfg, &plan);
+        let b = run_with_faults(&tr, &cfg, &plan);
+        assert_eq!(
+            a.records[0].started, b.records[0].started,
+            "seeded jitter replays"
+        );
+        let restart = a.records[0].started;
+        let expected = cfg.retry.backoff.delay(0, 1);
+        assert_eq!(restart, SimTime(50 * 1_000_000_000) + expected);
+        assert!(expected <= Dur::from_secs(150).mul_f64(1.25));
+    }
+
+    #[test]
+    fn zero_quota_tenant_rejects_instead_of_hanging() {
+        let mut cfg = ServiceConfig::new(4, 4);
+        cfg.quota_default = 0;
+        let tr = trace(vec![sub(0, 3, (1, 1), 10, 0), sub(1, 3, (2, 2), 10, 1)]);
+        let r = run(&tr, &cfg);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.quota_rejects, 2);
+        assert!(r
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, Outcome::Rejected(AdmissionError::QuotaExceeded { .. }))));
+    }
+
+    #[test]
+    fn tenant_at_exactly_quota_is_admitted() {
+        let mut cfg = ServiceConfig::new(4, 4);
+        cfg.quota_default = 4; // nodes
+        let tr = trace(vec![
+            sub(0, 0, (2, 2), 100, 0),  // exactly the quota: admitted
+            sub(1, 0, (1, 1), 10, 1),   // would exceed while 0 runs: rejected
+            sub(2, 0, (2, 2), 10, 200), // after 0 finishes: admitted again
+        ]);
+        let r = run(&tr, &cfg);
+        assert_eq!(r.outcomes[0], Outcome::Completed);
+        assert_eq!(
+            r.outcomes[1],
+            Outcome::Rejected(AdmissionError::QuotaExceeded {
+                tenant: 0,
+                quota: 4
+            })
+        );
+        assert_eq!(r.outcomes[2], Outcome::Completed);
+        assert_eq!(r.quota_rejects, 1);
+    }
+
+    #[test]
+    fn quota_raised_mid_run_takes_effect() {
+        let mut cfg = ServiceConfig::new(4, 4);
+        cfg.quota_default = 4;
+        let tr = ServiceTrace {
+            subs: vec![
+                sub(0, 0, (2, 2), 100, 0), // fills the quota
+                sub(1, 0, (1, 1), 10, 5),  // rejected: quota still 4
+                sub(2, 0, (1, 1), 10, 60), // admitted: quota raised to 8 at t=50
+            ],
+            quota_updates: vec![(SimTime(50 * 1_000_000_000), 0, 8)],
+        };
+        let r = run(&tr, &cfg);
+        assert_eq!(r.outcomes[0], Outcome::Completed);
+        assert!(matches!(
+            r.outcomes[1],
+            Outcome::Rejected(AdmissionError::QuotaExceeded { quota: 4, .. })
+        ));
+        assert_eq!(r.outcomes[2], Outcome::Completed, "raise applied");
+        assert_eq!(r.quota_rejects, 1);
+    }
+
+    #[test]
+    fn impossible_shape_is_unrunnable_not_queued() {
+        let tr = trace(vec![sub(0, 0, (20, 20), 10, 0), sub(1, 0, (1, 1), 10, 1)]);
+        let r = run(&tr, &ServiceConfig::new(4, 4));
+        assert_eq!(
+            r.outcomes[0],
+            Outcome::Rejected(AdmissionError::Unrunnable { shape: (20, 20) })
+        );
+        assert_eq!(r.outcomes[1], Outcome::Completed);
+        assert_eq!(r.unrunnable, 1);
+    }
+
+    #[test]
+    fn fault_shrunk_mesh_retires_pending_as_unrunnable() {
+        // 2x2 machine; node dies before the full-frame job can start.
+        let mut plan = FaultPlan::none();
+        plan.push(SimTime(1_000_000_000), FaultKind::NodeCrash { node: 0 });
+        let tr = trace(vec![sub(0, 0, (2, 2), 10, 2), sub(1, 1, (1, 1), 5, 3)]);
+        let mut cfg = ServiceConfig::new(2, 2);
+        cfg.policy = Policy::Fcfs;
+        let r = run_with_faults(&tr, &cfg, &plan);
+        assert_eq!(
+            r.outcomes[0],
+            Outcome::Rejected(AdmissionError::Unrunnable { shape: (2, 2) })
+        );
+        assert_eq!(r.outcomes[1], Outcome::Completed);
+        assert_eq!(r.nodes_failed, 1);
+    }
+
+    #[test]
+    fn fair_share_order_interleaves_tenants() {
+        // Tenant 0 floods the queue first; fair share lets tenant 1's
+        // later submission overtake the backlog once tenant 0 has
+        // accumulated usage.
+        let mut subs = Vec::new();
+        for i in 0..8 {
+            subs.push(sub(i, 0, (4, 4), 100, 0)); // serialized: whole machine
+        }
+        subs.push(sub(8, 1, (4, 4), 100, 1));
+        let mut cfg = ServiceConfig::new(4, 4);
+        cfg.order = Order::FairShare;
+        cfg.keep_records = true;
+        let fair = run(&trace(subs.clone()), &cfg);
+        cfg.order = Order::Arrival;
+        let fifo = run(&trace(subs), &cfg);
+        let started = |r: &ServiceReport, id: usize| {
+            r.records.iter().find(|j| j.job.id == id).unwrap().started
+        };
+        assert!(
+            started(&fair, 8) < started(&fifo, 8),
+            "fair share admits the fresh tenant ahead of the backlog: {} vs {}",
+            started(&fair, 8),
+            started(&fifo, 8)
+        );
+        assert_eq!(fair.completed, 9);
+    }
+
+    #[test]
+    fn recorded_run_is_bit_identical_and_counts_tenants() {
+        use hpcc_trace::MemRecorder;
+        let tr = service_workload(3_000, 12, 1.6, 16, 33, 5);
+        let mut cfg = ServiceConfig::new(16, 33);
+        cfg.pending_cap = 256;
+        let plan = FaultPlan::seeded(
+            4,
+            &MtbfModel::node_crashes(Dur::from_secs(40_000)),
+            528,
+            0,
+            Dur::from_secs(80_000),
+        );
+        let plain = run_with_faults(&tr, &cfg, &plan);
+        let rec = MemRecorder::new();
+        let traced = run_recorded(&tr, &cfg, &plan, &rec);
+        assert_eq!(plain.outcomes, traced.outcomes);
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.node_time, traced.node_time);
+        assert!(!rec.is_empty(), "counters were emitted");
+        assert!(
+            rec.tracks()
+                .iter()
+                .any(|t| t.process == names::SCHED_SVC && t.thread.starts_with("tenant ")),
+            "per-tenant tracks exist"
+        );
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_heavy_tailed() {
+        let a = service_workload(10_000, 100, 1.0, 16, 33, 42);
+        let b = service_workload(10_000, 100, 1.0, 16, 33, 42);
+        assert_eq!(a, b);
+        let small = a.subs.iter().filter(|s| s.nodes() <= 4).count();
+        let big = a.subs.iter().filter(|s| s.nodes() >= 128).count();
+        assert!(small > 6_000, "most jobs are small: {small}");
+        assert!(big > 0, "a fat tail of big jobs exists: {big}");
+        assert!(a.subs.iter().all(|s| s.tenant < 100));
+        // Arrivals are sorted and bursty (max gap >> mean gap).
+        let gaps: Vec<f64> = a
+            .subs
+            .windows(2)
+            .map(|w| (w[1].arrival - w[0].arrival).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let max = gaps.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max > 10.0 * mean,
+            "heavy-tailed gaps: max {max} mean {mean}"
+        );
+    }
+}

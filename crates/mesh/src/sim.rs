@@ -24,6 +24,7 @@ use crate::machine::{Kernel, MachineConfig};
 use crate::partition::LaneMap;
 use crate::topology::LinkId;
 use bytes::Bytes;
+use des::backoff::{mix64, Backoff};
 use des::faults::{FaultKind, FaultPlan};
 use des::time::{Dur, SimTime};
 use des::{Completion, EventQueue, Tasks};
@@ -746,10 +747,15 @@ impl Node {
         sent
     }
 
-    /// Retrying send with exponential backoff in virtual time. Transient
-    /// errors (partition — a detour may appear when a link is repaired)
-    /// are retried; a crashed destination is permanent and returned
-    /// immediately.
+    /// Retrying send with capped, jittered exponential backoff in
+    /// virtual time. Transient errors (partition — a detour may appear
+    /// when a link is repaired) are retried; a crashed destination is
+    /// permanent and returned immediately.
+    ///
+    /// The backoff is deterministic: jitter streams are keyed on
+    /// `(rank, dst, tag)`, so the same run replays bit-for-bit while
+    /// distinct senders caught by the same outage decorrelate instead
+    /// of retrying in lockstep.
     pub async fn send_with_retry(
         &self,
         dst: usize,
@@ -757,7 +763,7 @@ impl Node {
         payload: Payload,
         policy: RetryPolicy,
     ) -> Result<(), CommError> {
-        let mut backoff = policy.backoff;
+        let stream = mix64(&[self.rank as u64, dst as u64, tag]);
         let mut last = CommError::Unreachable {
             from: self.rank,
             to: dst,
@@ -766,8 +772,7 @@ impl Node {
             if attempt > 0 {
                 self.core.borrow_mut().counters.faults.retries += 1;
                 self.trace_instant("fault", "retry");
-                self.delay(backoff).await;
-                backoff = backoff * 2;
+                self.delay(policy.backoff.delay(stream, attempt)).await;
             }
             match self.try_send(dst, tag, payload.clone()).await {
                 Ok(()) => return Ok(()),
@@ -993,20 +998,31 @@ fn kernel_label(k: Kernel) -> &'static str {
     }
 }
 
-/// Backoff schedule for [`Node::send_with_retry`].
+/// Backoff schedule for [`Node::send_with_retry`]: a capped exponential
+/// [`Backoff`] with deterministic seeded jitter. The old uncapped
+/// doubling schedule could sleep past any simulated horizon once
+/// `max_attempts` grew; the cap bounds every single delay and the
+/// seeded jitter keeps retry storms decorrelated without sacrificing
+/// replayability.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (minimum 1).
     pub max_attempts: u32,
-    /// Delay before the first retry; doubles per further retry.
-    pub backoff: Dur,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
 }
 
 impl Default for RetryPolicy {
+    /// 4 attempts; 1 ms doubling to a 100 ms cap with 10% jitter.
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 4,
-            backoff: Dur::from_millis(1),
+            backoff: Backoff {
+                base: Dur::from_millis(1),
+                cap: Dur::from_millis(100),
+                jitter: 0.10,
+                seed: 0x5EED,
+            },
         }
     }
 }
@@ -1944,6 +1960,105 @@ mod tests {
             report.faults.messages_lost >= 1,
             "first attempt was dropped"
         );
+    }
+
+    #[test]
+    fn send_with_retry_backoff_is_capped() {
+        // Destination crashed from t=0... no: a crashed node returns
+        // immediately. Keep the link down for the whole run instead, so
+        // every attempt fails Unreachable and the full backoff schedule
+        // is consumed. With jitter off, the elapsed time is exactly the
+        // sum of capped delays — the uncapped schedule would sleep
+        // 1+2+4+...+2^9 ms, the capped one 1+2+4+4+... ms.
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            backoff: Backoff::exponential(Dur::from_millis(1), Dur::from_millis(4)),
+        };
+        let m = Machine::new(presets::delta(1, 2));
+        let mut r = Vec::new();
+        m.config().topology.route(0, 1, &mut r);
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::ZERO,
+            FaultKind::LinkDown {
+                link: r[0],
+                until: SimTime::MAX,
+            },
+        );
+        let (out, report) = m.run_with_faults(&plan, |node| async move {
+            match node.rank() {
+                0 => {
+                    let t0 = node.now();
+                    let res = node
+                        .send_with_retry(1, 1, Payload::Virtual(64), policy)
+                        .await;
+                    assert!(matches!(res, Err(CommError::Unreachable { .. })));
+                    (node.now() - t0).nanos()
+                }
+                _ => 0,
+            }
+        });
+        // 9 backoffs: 1 + 2 + then seven capped at 4 ms = 31 ms, plus
+        // 10 local send-overhead charges; no jitter, so exact.
+        let backoffs: u64 = (1..10u32)
+            .map(|a| policy.backoff.delay(mix64(&[0, 1, 1]), a).nanos())
+            .sum();
+        assert_eq!(backoffs, Dur::from_millis(31).nanos());
+        let overhead = 10 * m.config().net.send_overhead.nanos();
+        assert_eq!(out[0], Some(backoffs + overhead));
+        assert_eq!(report.faults.retries, 9);
+    }
+
+    #[test]
+    fn send_with_retry_jitter_is_deterministic() {
+        // Same machine, same flap, jittered policy: two runs must agree
+        // bit-for-bit, and a different seed must move the retry clock.
+        let elapsed = |seed: u64| {
+            let policy = RetryPolicy {
+                max_attempts: 6,
+                backoff: Backoff {
+                    base: Dur::from_millis(1),
+                    cap: Dur::from_millis(8),
+                    jitter: 0.40,
+                    seed,
+                },
+            };
+            let m = Machine::new(presets::delta(1, 2));
+            let mut r = Vec::new();
+            m.config().topology.route(0, 1, &mut r);
+            let mut plan = FaultPlan::none();
+            plan.push(
+                SimTime::ZERO,
+                FaultKind::LinkDown {
+                    link: r[0],
+                    until: SimTime::from_secs_f64(0.003),
+                },
+            );
+            let (out, report) = m.run_with_faults(&plan, |node| async move {
+                match node.rank() {
+                    0 => {
+                        let ok = node
+                            .send_with_retry(1, 1, Payload::Virtual(64), policy)
+                            .await
+                            .is_ok();
+                        assert!(ok, "flap repaired within the schedule");
+                        node.now().nanos()
+                    }
+                    1 => {
+                        node.recv(Some(0), Some(1)).await;
+                        node.now().nanos()
+                    }
+                    _ => 0,
+                }
+            });
+            assert!(report.faults.retries >= 1);
+            out
+        };
+        let a = elapsed(7);
+        let b = elapsed(7);
+        assert_eq!(a, b, "seeded jitter replays bit-for-bit");
+        let c = elapsed(8);
+        assert_ne!(a, c, "a different seed shifts the retry schedule");
     }
 
     #[test]

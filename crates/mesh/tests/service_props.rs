@@ -1,0 +1,135 @@
+//! Property tests for the scheduler service.
+//!
+//! Three families of invariants:
+//!
+//! 1. **Batch equivalence.** With immediate admission, no bounds, and no
+//!    faults, the service must replay the batch scheduler's schedule
+//!    bit-for-bit — same starts, finishes, and placements — across
+//!    random under-capacity workloads and both policies.
+//! 2. **Conservation.** Under random fault plans, bounded queues, and
+//!    finite quotas: every submission reaches exactly one terminal
+//!    state, the terminal counts sum to the submission count, and the
+//!    integer node-time ledger balances exactly
+//!    (`useful + lost + dead + idle == total`, in `u128` node-ns).
+//! 3. **Replay.** The same `(trace, config, plan)` triple reproduces the
+//!    same report, bit for bit, retries and jitter included.
+
+use delta_mesh::sched::service::{
+    self, assert_batch_equivalent, service_workload, Outcome, ServiceConfig,
+};
+use delta_mesh::Policy;
+use des::faults::{FaultPlan, MtbfModel};
+use des::time::Dur;
+use proptest::prelude::*;
+
+/// A service config with every production limit engaged, derived from
+/// the case seed so cap/quota/retry corners all get visited.
+fn bounded_config(knobs: u64) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(16, 33);
+    cfg.pending_cap = [64usize, 256, 1024][(knobs % 3) as usize];
+    cfg.shard_cap = cfg.pending_cap;
+    cfg.shards = 1 + (knobs % 8) as usize;
+    cfg.quota_default = [32usize, 128, usize::MAX][((knobs / 3) % 3) as usize];
+    cfg.retry.budget = (knobs % 4) as u32;
+    if knobs.is_multiple_of(2) {
+        cfg.admit_every = Dur::from_secs(10);
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Under-capacity, zero-fault, no-limit service runs replay the
+    /// batch scheduler bit-for-bit under both policies.
+    #[test]
+    fn service_matches_batch_bit_for_bit(
+        n in 50usize..300,
+        tenants in 2usize..30,
+        seed in 0u64..10_000,
+    ) {
+        let tr = service_workload(n, tenants, 0.7, 16, 33, seed);
+        assert_batch_equivalent(&tr, 16, 33, Policy::Fcfs);
+        assert_batch_equivalent(&tr, 16, 33, Policy::Backfill);
+    }
+
+    /// Job accounting conserves: exactly one terminal state per
+    /// submission, terminal counts sum to the submission count, and the
+    /// node-time identity holds exactly under random fault plans.
+    #[test]
+    fn conservation_under_faults_and_limits(
+        n in 200usize..2_000,
+        load_pct in 40u64..250,
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+    ) {
+        let tr = service_workload(n, 24, load_pct as f64 / 100.0, 16, 33, seed);
+        let cfg = bounded_config(seed ^ load_pct);
+        let plan = FaultPlan::seeded(
+            fault_seed,
+            &MtbfModel::node_crashes(Dur::from_secs(60_000)),
+            16 * 33,
+            0,
+            Dur::from_secs(100_000),
+        );
+        let r = service::run_with_faults(&tr, &cfg, &plan);
+
+        // Exactly one terminal state each (run_with_faults panics on a
+        // missing or doubled state; here we re-check the counts agree).
+        prop_assert_eq!(r.outcomes.len(), n);
+        prop_assert_eq!(r.submitted, n);
+        let completed = r.outcomes.iter().filter(|o| **o == Outcome::Completed).count();
+        let failed = r.outcomes.iter().filter(|o| **o == Outcome::Failed).count();
+        let rejected = r.outcomes.iter()
+            .filter(|o| matches!(o, Outcome::Rejected(_)))
+            .count();
+        prop_assert_eq!(completed + failed + rejected, n);
+        prop_assert_eq!(completed, r.completed);
+        prop_assert_eq!(failed, r.failed);
+        prop_assert_eq!(rejected as u64, r.rejected_total());
+
+        // Bounded queues stayed bounded.
+        prop_assert!(r.max_shard_depth <= cfg.shard_cap);
+
+        // Node-time identity, exactly: busy + idle + dead == total, and
+        // total is nodes x span to the nanosecond.
+        prop_assert!(r.node_time.balanced());
+        let span_ns = (r.span.nanos()) as u128;
+        prop_assert_eq!(r.node_time.total, (16u128 * 33) * span_ns);
+
+        // Useful node-time is exactly the work of the completed jobs.
+        let expect_useful: u128 = tr.subs.iter()
+            .filter(|s| r.outcomes[s.id] == Outcome::Completed)
+            .map(|s| (s.nodes() as u128) * (s.runtime.nanos() as u128))
+            .sum();
+        prop_assert_eq!(r.node_time.useful, expect_useful);
+    }
+
+    /// Same inputs, same report — bit for bit, jittered retries and all.
+    #[test]
+    fn service_replays_bit_identically(
+        n in 200usize..1_000,
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+    ) {
+        let tr = service_workload(n, 16, 1.3, 16, 33, seed);
+        let cfg = bounded_config(seed);
+        let plan = FaultPlan::seeded(
+            fault_seed,
+            &MtbfModel::node_crashes(Dur::from_secs(40_000)),
+            16 * 33,
+            0,
+            Dur::from_secs(80_000),
+        );
+        let a = service::run_with_faults(&tr, &cfg, &plan);
+        let b = service::run_with_faults(&tr, &cfg, &plan);
+        prop_assert_eq!(a.outcomes, b.outcomes);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.span, b.span);
+        prop_assert_eq!(a.shed, b.shed);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(a.jobs_killed, b.jobs_killed);
+        prop_assert_eq!(a.node_time, b.node_time);
+        prop_assert_eq!(a.events, b.events);
+    }
+}

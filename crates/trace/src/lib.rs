@@ -90,6 +90,9 @@ pub mod names {
     pub const DES: &str = "des";
     /// One track per scheduler job; spans are wait/run/killed.
     pub const SCHED: &str = "sched";
+    /// Scheduler-service tracks: aggregate queue counters plus one track
+    /// per tenant (admits/rejects/retries).
+    pub const SCHED_SVC: &str = "sched service";
     /// One track per WAN flow; spans are the transfer lifetime.
     pub const WAN_FLOWS: &str = "wan flows";
     /// One track per directed WAN link; counters are allocated rate.
