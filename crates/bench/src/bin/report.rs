@@ -11,7 +11,7 @@
 //! `report all --out <path>` writes the concatenated exhibits to a file
 //! instead of stdout (used to regenerate `report_all.txt`).
 
-use hpcc_bench::{desperf, exhibits as ex, perf, schedperf};
+use hpcc_bench::{desperf, exhibits as ex, netperf, perf, schedperf};
 
 /// Measure the host kernels, print the table, and drop the machine-
 /// readable snapshot next to the working directory.
@@ -47,6 +47,20 @@ fn bench_sched(smoke: bool) -> String {
     match std::fs::write(path, &json) {
         Ok(()) => format!("{}\nwrote {path}", schedperf::table(&rows)),
         Err(e) => format!("{}\ncould not write {path}: {e}", schedperf::table(&rows)),
+    }
+}
+
+/// Replay the WAN upgrade story on modern fabrics and sweep the flow
+/// engine to 1M concurrent flows, print the tables, and drop the
+/// machine-readable snapshot. `--smoke` shrinks the scales and runs
+/// every resolve through the incremental-vs-reference equivalence gate.
+fn bench_net(smoke: bool) -> String {
+    let rows = netperf::snapshot(smoke);
+    let json = netperf::json(&rows);
+    let path = "BENCH_net.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => format!("{}\nwrote {path}", netperf::table(&rows)),
+        Err(e) => format!("{}\ncould not write {path}: {e}", netperf::table(&rows)),
     }
 }
 
@@ -86,6 +100,7 @@ fn main() {
             "bench-kernels" => bench_kernels(),
             "bench-des" => bench_des(smoke),
             "bench-sched" => bench_sched(smoke),
+            "bench-net" => bench_net(smoke),
             "index" => ex::index(),
             _ => return None,
         })
@@ -141,7 +156,7 @@ fn main() {
                      grand-challenges, fft-scaling, \
                      scheduler, sched-service, resilience [--smoke], trace [--smoke], \
                      ablations, kernel-profile, timeline, bench-kernels, \
-                     bench-des [--smoke], bench-sched [--smoke]"
+                     bench-des [--smoke], bench-sched [--smoke], bench-net [--smoke]"
                 );
                 std::process::exit(2);
             }

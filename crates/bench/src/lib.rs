@@ -9,5 +9,6 @@
 
 pub mod desperf;
 pub mod exhibits;
+pub mod netperf;
 pub mod perf;
 pub mod schedperf;

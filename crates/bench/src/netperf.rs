@@ -1,0 +1,357 @@
+//! WAN flow-engine throughput: the incremental max-min solver against
+//! the full-recompute baseline, and the paper's T1→T3→gigabit upgrade
+//! story replayed with modern fat-tree/dragonfly fabrics on each coast.
+//! The `report bench-net` command prints the tables and writes
+//! `BENCH_net.json`; `--smoke` runs CI-sized scales with the per-event
+//! equivalence verifier enabled — every resolve is checked against the
+//! reference `maxmin_rates` re-solve to 1e-9 relative.
+//!
+//! Two scenarios:
+//!
+//! * `upgrade` — 16 west-fabric hosts each push a file to an east-
+//!   fabric host across the consortium WAN, swept over the WAN tier
+//!   from T1 to 400G. The fabrics are modern either way; until the
+//!   long-haul tier catches up, the WAN is the whole story — the same
+//!   shape as the 1992 NREN argument, three decades of tiers later.
+//! * `scale` — a 128-host fat-tree fan-out (16 senders, heavy-tailed
+//!   Pareto sizes) at 10k/100k/1M concurrent flows. The baseline is a
+//!   full max-min re-solve of the whole roster on every event
+//!   (`SolverMode::Global`) with the same aggregation config, so the
+//!   ratio isolates the incremental solver. The baseline runs at the
+//!   scales it can finish; at 1M flows only the incremental engine is
+//!   measured, and the speedup column is the events/sec ratio against
+//!   the baseline at the same flow count.
+
+use des::rng::Rng;
+use des::time::SimTime;
+use nren_netsim::{
+    fabric_to_wan, fat_tree, workload, FlowConfig, FlowSim, LinkClass, SolverMode, TransferSpec,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured network-engine configuration.
+pub struct NetRow {
+    /// `"upgrade"` or `"scale"`.
+    pub scenario: &'static str,
+    /// WAN tier label, or the solver under test.
+    pub label: String,
+    /// Concurrent transfers offered.
+    pub flows: usize,
+    /// Simulator events processed (arrivals batched per instant).
+    pub events: u64,
+    /// Wall time, milliseconds.
+    pub ms: f64,
+    /// events / wall second — the figure of merit for `scale`.
+    pub events_per_sec: f64,
+    /// Virtual time of the last completion.
+    pub makespan_s: f64,
+    /// Aggregate goodput, MB/s of virtual time — the figure of merit
+    /// for `upgrade`.
+    pub mbytes_per_sec: f64,
+    /// Peak concurrent flows the engine actually held.
+    pub peak_flows: u64,
+    /// Mean affected-set size per resolve.
+    pub mean_dirty: f64,
+    /// Resolves that fell back to a full re-solve.
+    pub full_resolves: u64,
+    /// events/sec over the baseline at the same scale (0 = n/a).
+    pub speedup: f64,
+}
+
+/// The incremental engine as shipped: affected-set solver plus
+/// short-flow aggregation under 16 MiB.
+fn incremental_cfg(verify: bool) -> FlowConfig {
+    FlowConfig {
+        solver: SolverMode::Incremental {
+            full_fraction: 0.25,
+        },
+        aggregate_below: 16 << 20,
+        verify,
+    }
+}
+
+/// The full-recompute baseline: every event re-solves max-min rates
+/// for the whole roster (`SolverMode::Global`). Aggregation is kept
+/// identical to the incremental config so the events/sec ratio
+/// isolates the solver; the legacy engine — global re-solve over every
+/// *individual* flow — is strictly slower than this baseline.
+fn baseline_cfg() -> FlowConfig {
+    FlowConfig {
+        solver: SolverMode::Global,
+        aggregate_below: 16 << 20,
+        verify: false,
+    }
+}
+
+fn run_once(
+    net: &nren_netsim::Net,
+    specs: Vec<TransferSpec>,
+    cfg: FlowConfig,
+    scenario: &'static str,
+    label: String,
+) -> NetRow {
+    let flows = specs.len();
+    let bytes: f64 = specs.iter().map(|s| s.bytes as f64).sum();
+    let t = Instant::now();
+    let (outcomes, stats) = FlowSim::with_config(net, cfg)
+        .run_with_faults(specs, &[])
+        .expect("fault-free run cannot error");
+    let wall = t.elapsed().as_secs_f64().max(1e-9);
+    eprintln!("  [{scenario}] {label} @ {flows}: {:.1}s", wall);
+    assert_eq!(outcomes.len(), flows, "{scenario}/{label}: lost flows");
+    let makespan = stats.makespan.as_secs_f64();
+    NetRow {
+        scenario,
+        label,
+        flows,
+        events: stats.solver.events,
+        ms: wall * 1e3,
+        events_per_sec: stats.solver.events as f64 / wall,
+        makespan_s: makespan,
+        mbytes_per_sec: bytes / makespan.max(1e-9) / 1e6,
+        peak_flows: stats.solver.peak_flows as u64,
+        mean_dirty: stats.solver.mean_dirty(),
+        full_resolves: stats.solver.full_resolves,
+        speedup: 0.0,
+    }
+}
+
+/// The upgrade story: coast-to-coast transfers between modern fabrics,
+/// WAN tier swept from the 1992 starting point to 400G.
+fn upgrade_rows(smoke: bool) -> Vec<NetRow> {
+    let tiers = [
+        LinkClass::T1,
+        LinkClass::T3,
+        LinkClass::Gigabit,
+        LinkClass::Gig100,
+        LinkClass::Gig400,
+    ];
+    let bytes: u64 = if smoke { 1 << 20 } else { 16 << 20 };
+    tiers
+        .iter()
+        .map(|&wan| {
+            let (net, west, east) = fabric_to_wan(4, wan, LinkClass::Gig400);
+            let specs: Vec<TransferSpec> = west
+                .iter()
+                .zip(&east)
+                .map(|(&w, &e)| TransferSpec::new(w, e, bytes, SimTime::ZERO))
+                .collect();
+            run_once(
+                &net,
+                specs,
+                incremental_cfg(smoke),
+                "upgrade",
+                wan.label().to_string(),
+            )
+        })
+        .collect()
+}
+
+/// Fan-out workload on a 128-host fat-tree: heavy-tailed flow sizes,
+/// everything arriving at t=0, so `flows` is also the peak concurrency.
+fn fan_out(fab: &nren_netsim::Fabric, flows: usize) -> Vec<TransferSpec> {
+    let mut rng = Rng::new(0x9e37);
+    workload::fan_out_traffic(&fab.hosts, 16, &mut rng, flows, 1e6, SimTime::ZERO)
+}
+
+/// The scale sweep: baseline where it can finish, incremental
+/// throughout, speedup computed at matched flow counts.
+fn scale_rows(smoke: bool) -> Vec<NetRow> {
+    let fab = fat_tree(8, LinkClass::Gigabit, LinkClass::Gig100, "f.");
+    let (baseline_scales, incr_scales): (&[usize], &[usize]) = if smoke {
+        (&[2_000], &[2_000])
+    } else {
+        (&[10_000, 100_000], &[10_000, 100_000, 1_000_000])
+    };
+    let mut rows = Vec::new();
+    for &n in baseline_scales {
+        rows.push(run_once(
+            &fab.net,
+            fan_out(&fab, n),
+            baseline_cfg(),
+            "scale",
+            "global (baseline)".into(),
+        ));
+    }
+    for &n in incr_scales {
+        // Smoke keeps the per-event verifier on: each resolve is
+        // checked against the reference solver — the equivalence gate.
+        let mut r = run_once(
+            &fab.net,
+            fan_out(&fab, n),
+            incremental_cfg(smoke),
+            "scale",
+            if smoke {
+                "incremental (verified)".into()
+            } else {
+                "incremental".into()
+            },
+        );
+        if let Some(base) = rows.iter().find(|b| {
+            b.scenario == "scale"
+                && b.flows == n
+                && b.speedup == 0.0
+                && b.label.starts_with("global")
+        }) {
+            r.speedup = r.events_per_sec / base.events_per_sec;
+        }
+        assert_eq!(r.peak_flows as usize, n, "engine dropped concurrency");
+        rows.push(r);
+    }
+    rows
+}
+
+/// The sweep. `smoke` shrinks every scale to CI size and turns on the
+/// per-event incremental-vs-reference verifier; the full run asserts
+/// the headline claims — 1M concurrent flows held, and ≥10× baseline
+/// events/sec at the largest scale the baseline finishes.
+pub fn snapshot(smoke: bool) -> Vec<NetRow> {
+    let mut rows = upgrade_rows(smoke);
+    let scale = scale_rows(smoke);
+    if !smoke {
+        let top = scale
+            .iter()
+            .filter(|r| r.speedup > 0.0)
+            .max_by_key(|r| r.flows)
+            .expect("scale sweep lost its baseline comparison");
+        assert!(
+            top.speedup >= 10.0,
+            "incremental engine only {:.1}x over full recompute at {} flows",
+            top.speedup,
+            top.flows
+        );
+        let million = scale.iter().find(|r| r.flows == 1_000_000).unwrap();
+        assert_eq!(million.peak_flows, 1_000_000);
+    }
+    rows.extend(scale);
+    rows
+}
+
+/// Human-readable tables, one per scenario.
+pub fn table(rows: &[NetRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "WAN upgrade story (modern fabrics, WAN tier swept)");
+    let _ = writeln!(s, "{:-<72}", "");
+    let _ = writeln!(
+        s,
+        "{:>18} {:>6} {:>12} {:>12} {:>12}",
+        "WAN tier", "flows", "makespan s", "MB/s", "events"
+    );
+    for r in rows.iter().filter(|r| r.scenario == "upgrade") {
+        let _ = writeln!(
+            s,
+            "{:>18} {:>6} {:>12.2} {:>12.2} {:>12}",
+            r.label, r.flows, r.makespan_s, r.mbytes_per_sec, r.events
+        );
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, "Flow-engine scaling (128-host fat-tree fan-out)");
+    let _ = writeln!(s, "{:-<88}", "");
+    let _ = writeln!(
+        s,
+        "{:>24} {:>8} {:>9} {:>10} {:>12} {:>10} {:>8}",
+        "solver", "flows", "events", "ms", "events/s", "dirty/ev", "speedup"
+    );
+    for r in rows.iter().filter(|r| r.scenario == "scale") {
+        let speed = if r.speedup > 0.0 {
+            format!("{:.1}x", r.speedup)
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            s,
+            "{:>24} {:>8} {:>9} {:>10.1} {:>12.0} {:>10.1} {:>8}",
+            r.label, r.flows, r.events, r.ms, r.events_per_sec, r.mean_dirty, speed
+        );
+    }
+    s
+}
+
+/// The JSON snapshot (hand-rolled — the harness carries no serde).
+pub fn json(rows: &[NetRow]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"net\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scenario\": \"{}\", \"label\": \"{}\", \"flows\": {}, \
+             \"events\": {}, \"ms\": {:.3}, \"events_per_sec\": {:.1}, \
+             \"makespan_s\": {:.6}, \"mbytes_per_sec\": {:.3}, \
+             \"peak_flows\": {}, \"mean_dirty\": {:.2}, \
+             \"full_resolves\": {}, \"speedup\": {:.2}}}",
+            r.scenario,
+            r.label,
+            r.flows,
+            r.events,
+            r.ms,
+            r.events_per_sec,
+            r.makespan_s,
+            r.mbytes_per_sec,
+            r.peak_flows,
+            r.mean_dirty,
+            r.full_resolves,
+            r.speedup
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upgrade_story_monotone_in_wan_tier() {
+        let rows = upgrade_rows(true);
+        assert_eq!(rows.len(), 5);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].mbytes_per_sec >= w[0].mbytes_per_sec * 0.999,
+                "{} slower than {}",
+                w[1].label,
+                w[0].label
+            );
+        }
+        // T1 cannot move 16 coast-to-coast megabytes quickly; 400G can.
+        assert!(rows[0].makespan_s > rows[4].makespan_s * 10.0);
+    }
+
+    #[test]
+    fn smoke_scale_rows_verify_and_compare() {
+        let rows = scale_rows(true);
+        assert_eq!(rows.len(), 2);
+        let base = &rows[0];
+        let incr = &rows[1];
+        assert!(base.label.starts_with("global"));
+        assert!(incr.speedup > 0.0, "speedup not computed");
+        // Both engines deliver the same bytes in the same virtual time
+        // (aggregation and lazy drains are schedule-preserving).
+        let rel = (base.makespan_s - incr.makespan_s).abs() / base.makespan_s;
+        assert!(rel < 1e-6, "makespans diverged: {rel}");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![NetRow {
+            scenario: "scale",
+            label: "incremental".into(),
+            flows: 1000,
+            events: 2000,
+            ms: 12.0,
+            events_per_sec: 166_000.0,
+            makespan_s: 42.0,
+            mbytes_per_sec: 55.5,
+            peak_flows: 1000,
+            mean_dirty: 17.2,
+            full_resolves: 3,
+            speedup: 25.0,
+        }];
+        let j = json(&rows);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let t = table(&rows);
+        assert!(t.contains("events/s") && t.contains("incremental"));
+    }
+}

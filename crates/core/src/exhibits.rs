@@ -198,6 +198,21 @@ pub fn registry() -> &'static [Exhibit] {
             bench: Some("bench-sched"),
         },
         Exhibit {
+            id: "NET-1",
+            title: "Incremental max-min flow engine: the T1->T3->gigabit upgrade story \
+                    at modern tiers, and 1M concurrent flows on fat-tree/dragonfly \
+                    fabrics",
+            kind: ExhibitKind::Table,
+            report_cmd: "bench-net",
+            modules: &[
+                "nren_netsim::engine",
+                "nren_netsim::flow",
+                "nren_netsim::topologies",
+                "nren_netsim::workload",
+            ],
+            bench: Some("bench-net"),
+        },
+        Exhibit {
             id: "OBS-1",
             title: "End-to-end trace: faulted LU-2D, WAN staging, scheduler (Perfetto)",
             kind: ExhibitKind::Figure,

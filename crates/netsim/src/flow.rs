@@ -8,10 +8,12 @@
 //! which is what made "gigabit testbeds" a research program rather than
 //! a procurement.
 
-use crate::graph::{Net, Route};
+use crate::engine::{Engine, EntryId, FlowConfig, SolverStats};
+use crate::graph::{Net, Route, RouteCache};
 use crate::link::SiteId;
 use des::time::{Dur, SimTime};
 use hpcc_trace::{names, NullRecorder, Recorder, TrackId};
+use std::collections::HashMap;
 use std::fmt;
 
 /// One requested transfer.
@@ -132,15 +134,6 @@ impl FlowOutcome {
     }
 }
 
-struct Active {
-    id: usize,
-    route: Route,
-    remaining: f64,
-    cap: f64,
-    rate: f64,
-    started: SimTime,
-}
-
 struct Parked {
     id: usize,
     remaining: f64,
@@ -241,6 +234,8 @@ pub struct NetStats {
     pub carried: Vec<f64>,
     /// Time of the last completion.
     pub makespan: des::time::SimTime,
+    /// How hard the incremental solver worked.
+    pub solver: SolverStats,
 }
 
 impl NetStats {
@@ -268,14 +263,121 @@ impl NetStats {
     }
 }
 
+/// Indexed min-heap of entry completion timers: one node per armed
+/// entry, updated in place when the solver re-rates it. An append-only
+/// heap with lazy invalidation grows by the affected-set size on every
+/// event — across a million-flow run that is 10^8 stale nodes and
+/// gigabytes of dead timers — while this one stays O(live entries).
+///
+/// Nodes order by (due, epoch, entry): the epoch tie-break reproduces
+/// the pop order of the lazy heap this replaced, so schedules are
+/// unchanged bit for bit.
+struct DueHeap {
+    nodes: Vec<(SimTime, u64, EntryId)>,
+    /// Entry slot -> node index; `usize::MAX` when unarmed.
+    pos: Vec<usize>,
+}
+
+impl DueHeap {
+    fn new() -> DueHeap {
+        DueHeap {
+            nodes: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<(SimTime, u64, EntryId)> {
+        self.nodes.first().copied()
+    }
+
+    /// Arm (or re-arm) entry `e` at due time `t`.
+    fn set(&mut self, e: EntryId, t: SimTime, ep: u64) {
+        if e >= self.pos.len() {
+            self.pos.resize(e + 1, usize::MAX);
+        }
+        let i = self.pos[e];
+        if i == usize::MAX {
+            self.pos[e] = self.nodes.len();
+            self.nodes.push((t, ep, e));
+            self.sift_up(self.nodes.len() - 1);
+        } else {
+            self.nodes[i] = (t, ep, e);
+            let i = self.sift_up(i);
+            self.sift_down(i);
+        }
+    }
+
+    /// Disarm entry `e`, if armed.
+    fn remove(&mut self, e: EntryId) {
+        let Some(&i) = self.pos.get(e) else { return };
+        if i == usize::MAX {
+            return;
+        }
+        self.pos[e] = usize::MAX;
+        self.nodes.swap_remove(i);
+        if i < self.nodes.len() {
+            self.pos[self.nodes[i].2] = i;
+            let i = self.sift_up(i);
+            self.sift_down(i);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) -> usize {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.nodes[i] < self.nodes[p] {
+                self.nodes.swap(i, p);
+                self.pos[self.nodes[i].2] = i;
+                self.pos[self.nodes[p].2] = p;
+                i = p;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.nodes.len() {
+                break;
+            }
+            let c = if l + 1 < self.nodes.len() && self.nodes[l + 1] < self.nodes[l] {
+                l + 1
+            } else {
+                l
+            };
+            if self.nodes[c] < self.nodes[i] {
+                self.nodes.swap(c, i);
+                self.pos[self.nodes[i].2] = i;
+                self.pos[self.nodes[c].2] = c;
+                i = c;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 /// Event-driven fluid simulation of a batch of transfers.
 pub struct FlowSim<'a> {
     net: &'a Net,
+    cfg: FlowConfig,
 }
 
 impl<'a> FlowSim<'a> {
     pub fn new(net: &'a Net) -> FlowSim<'a> {
-        FlowSim { net }
+        FlowSim {
+            net,
+            cfg: FlowConfig::default(),
+        }
+    }
+
+    /// Pick the solver mode, short-flow aggregation threshold, and the
+    /// reference cross-check (see [`FlowConfig`]).
+    pub fn with_config(net: &'a Net, cfg: FlowConfig) -> FlowSim<'a> {
+        FlowSim { net, cfg }
     }
 
     /// Closed-form time for a single transfer on an idle network:
@@ -404,6 +506,11 @@ impl<'a> FlowSim<'a> {
             vec![0; self.net.dir_links()]
         };
         let mut last_rate = vec![0.0f64; self.net.dir_links()];
+        let solver_track = if rec_on {
+            rec.track(names::WAN_SOLVER, "dirty set")
+        } else {
+            0
+        };
         let mut trans: Vec<Transition> = Vec::with_capacity(2 * faults.len());
         for f in faults {
             assert!(f.link < self.net.links().len(), "fault on link {}", f.link);
@@ -433,14 +540,20 @@ impl<'a> FlowSim<'a> {
             idx
         };
         let mut records: Vec<Option<FlowRecord>> = specs.iter().map(|_| None).collect();
-        let mut active: Vec<Active> = Vec::new();
         let mut parked: Vec<Parked> = Vec::new();
         let mut next = 0usize;
         let mut ti = 0usize;
-        let mut now = SimTime::ZERO;
-        let mut carried = vec![0.0f64; self.net.dir_links()];
+        let mut now;
+        let mut engine = Engine::new(self.net, &self.cfg);
+        let mut cache = RouteCache::new();
+        let mut open_aggs: HashMap<(SiteId, SiteId, Option<u64>), EntryId> = HashMap::new();
+        let mut heap = DueHeap::new();
+        let mut out_scratch: Vec<EntryId> = Vec::new();
+        let mut repush: Vec<EntryId> = Vec::new();
+        let mut on_link: Vec<EntryId> = Vec::new();
+        let mut events: u64 = 0;
 
-        let window_cap = |spec: &TransferSpec, route: &Route| match spec.window {
+        let window_cap = |window: Option<u64>, route: &Route| match window {
             Some(w) => {
                 let rtt = (route.latency * 2).as_secs_f64().max(1e-9);
                 w as f64 / rtt
@@ -449,19 +562,12 @@ impl<'a> FlowSim<'a> {
         };
 
         loop {
-            if active.is_empty() && next >= order.len() && ti >= trans.len() {
+            if engine.live_entries() == 0 && next >= order.len() && ti >= trans.len() {
                 break;
             }
-            // Earliest completion under current (constant) rates.
-            let finish = active
-                .iter()
-                .map(|f| {
-                    debug_assert!(f.rate > 0.0);
-                    // Clamp to >= 1 ns so virtual time always advances even
-                    // when a fast flow's residue rounds below the clock tick.
-                    now + Dur::from_secs_f64(f.remaining / f.rate).max(Dur(1))
-                })
-                .min();
+            // Earliest completion under current (constant) rates. Heap
+            // nodes are kept current in place, so the head is valid.
+            let finish = heap.peek().map(|(t, _, _)| t);
             let arrival = (next < order.len()).then(|| specs[order[next]].start);
             let transition = (ti < trans.len()).then(|| trans[ti].at);
 
@@ -491,15 +597,10 @@ impl<'a> FlowSim<'a> {
                 None => break,
             };
 
-            // Drain all active flows up to t.
-            let dt = (t - now).as_secs_f64();
-            for f in &mut active {
-                f.remaining -= f.rate * dt;
-                for &d in &f.route.dirs {
-                    carried[d] += f.rate * dt;
-                }
-            }
+            // No eager drain: entries sync lazily when their rate or
+            // membership changes, so an event costs O(affected set).
             now = t;
+            events += 1;
 
             match kind {
                 Kind::Transition => {
@@ -513,6 +614,10 @@ impl<'a> FlowSim<'a> {
                             down_count[tr.link] -= 1;
                             down[tr.link] = down_count[tr.link] > 0;
                         }
+                        // Memoized routes and open aggregates assume a
+                        // fixed outage mask.
+                        cache.invalidate();
+                        open_aggs.clear();
                         if rec_on {
                             let name = if tr.down { "down" } else { "up" };
                             rec.instant(link_track[2 * tr.link], "fault", name, now.nanos());
@@ -520,43 +625,45 @@ impl<'a> FlowSim<'a> {
                         if tr.down {
                             // Re-route live flows off the dead link; park
                             // the ones the outage partitions.
-                            let mut i = 0;
-                            while i < active.len() {
-                                if !active[i].route.dirs.iter().any(|&d| d / 2 == tr.link) {
-                                    i += 1;
-                                    continue;
-                                }
-                                let spec = &specs[active[i].id];
-                                match self.net.route_avoiding(spec.src, spec.dst, &down) {
+                            engine.entries_on_link(tr.link, &mut on_link);
+                            for &e in on_link.iter() {
+                                let (src, dst, window) = engine.key(e);
+                                match cache.route(self.net, src, dst, &down) {
                                     Some(route) => {
-                                        active[i].cap = window_cap(spec, &route);
-                                        active[i].route = route;
+                                        let cap = window_cap(window, &route);
+                                        engine.reroute(e, route, cap, now);
                                         if rec_on {
-                                            rec.instant(
-                                                flow_track[active[i].id],
-                                                "fault",
-                                                "reroute",
-                                                now.nanos(),
-                                            );
+                                            for m in engine.members(e) {
+                                                rec.instant(
+                                                    flow_track[m.flow as usize],
+                                                    "fault",
+                                                    "reroute",
+                                                    now.nanos(),
+                                                );
+                                            }
                                         }
-                                        i += 1;
                                     }
                                     None => {
-                                        let f = active.swap_remove(i);
                                         if rec_on {
-                                            rec.instant(
-                                                flow_track[f.id],
-                                                "fault",
-                                                "parked",
-                                                now.nanos(),
-                                            );
+                                            for m in engine.members(e) {
+                                                rec.instant(
+                                                    flow_track[m.flow as usize],
+                                                    "fault",
+                                                    "parked",
+                                                    now.nanos(),
+                                                );
+                                            }
                                         }
-                                        parked.push(Parked {
-                                            id: f.id,
-                                            remaining: f.remaining,
-                                            started: Some(f.started),
-                                            since: now,
+                                        engine.drain_members(e, now, |flow, rem, started| {
+                                            parked.push(Parked {
+                                                id: flow as usize,
+                                                remaining: rem,
+                                                started: Some(started),
+                                                since: now,
+                                            });
                                         });
+                                        heap.remove(e);
+                                        engine.remove_entry(e, now);
                                     }
                                 }
                             }
@@ -565,7 +672,7 @@ impl<'a> FlowSim<'a> {
                             let mut i = 0;
                             while i < parked.len() {
                                 let spec = &specs[parked[i].id];
-                                match self.net.route_avoiding(spec.src, spec.dst, &down) {
+                                match cache.route(self.net, spec.src, spec.dst, &down) {
                                     Some(route) => {
                                         let p = parked.remove(i);
                                         if rec_on {
@@ -583,14 +690,18 @@ impl<'a> FlowSim<'a> {
                                                 now.nanos(),
                                             );
                                         }
-                                        active.push(Active {
-                                            id: p.id,
-                                            cap: window_cap(spec, &route),
+                                        let cap = window_cap(spec.window, &route);
+                                        engine.insert(
                                             route,
-                                            remaining: p.remaining,
-                                            rate: 0.0,
-                                            started: p.started.unwrap_or(now),
-                                        });
+                                            spec.src,
+                                            spec.dst,
+                                            spec.window,
+                                            cap,
+                                            p.remaining,
+                                            p.id as u32,
+                                            p.started.unwrap_or(now),
+                                            now,
+                                        );
                                     }
                                     None => i += 1,
                                 }
@@ -603,19 +714,40 @@ impl<'a> FlowSim<'a> {
                         let id = order[next];
                         next += 1;
                         let spec = &specs[id];
-                        match self.net.route_avoiding(spec.src, spec.dst, &down) {
+                        match cache.route(self.net, spec.src, spec.dst, &down) {
                             Some(route) => {
                                 if rec_on {
                                     rec.instant(flow_track[id], "fault", "start", now.nanos());
                                 }
-                                active.push(Active {
-                                    id,
-                                    cap: window_cap(spec, &route),
-                                    route,
-                                    remaining: spec.bytes as f64,
-                                    rate: 0.0,
-                                    started: now,
-                                });
+                                let cap = window_cap(spec.window, &route);
+                                let key = (spec.src, spec.dst, spec.window);
+                                let agg = spec.bytes < self.cfg.aggregate_below;
+                                // Short flows pile into the open aggregate
+                                // for their route, if one is live.
+                                let joined = agg
+                                    && match open_aggs.get(&key) {
+                                        Some(&e) if engine.alive(e) => {
+                                            engine.join(e, spec.bytes as f64, id as u32, now, now);
+                                            true
+                                        }
+                                        _ => false,
+                                    };
+                                if !joined {
+                                    let e = engine.insert(
+                                        route,
+                                        spec.src,
+                                        spec.dst,
+                                        spec.window,
+                                        cap,
+                                        spec.bytes as f64,
+                                        id as u32,
+                                        now,
+                                        now,
+                                    );
+                                    if agg {
+                                        open_aggs.insert(key, e);
+                                    }
+                                }
                             }
                             None => {
                                 if rec_on {
@@ -632,64 +764,85 @@ impl<'a> FlowSim<'a> {
                     }
                 }
                 Kind::Finish => {
-                    // Record and drop finished flows (remaining ~ 0).
-                    let mut i = 0;
-                    while i < active.len() {
-                        // Done when less than ~2 ns of work remains at the
-                        // flow's current rate (sub-clock-tick residue).
-                        let done_below = (active[i].rate * 2e-9).max(1e-6);
-                        if active[i].remaining <= done_below {
-                            let f = active.swap_remove(i);
-                            let spec = specs[f.id].clone();
-                            records[f.id] = Some(FlowRecord {
-                                hops: f.route.hops(),
-                                path_latency: f.route.latency,
-                                started: f.started,
+                    // Record and drop every due member (remaining ~ 0).
+                    while let Some((t, _ep, e)) = heap.peek() {
+                        if t > now {
+                            break;
+                        }
+                        heap.remove(e);
+                        engine.sync(e, now);
+                        let (hops, path_latency) = engine.route_info(e);
+                        let mut popped = false;
+                        while let Some(rem) = engine.peek_rem(e) {
+                            // Done when less than ~2 ns of work remains at
+                            // the current rate (sub-clock-tick residue).
+                            let done_below = (engine.rate(e) * 2e-9).max(1e-6);
+                            if rem > done_below {
+                                break;
+                            }
+                            let m = engine.pop_member(e);
+                            popped = true;
+                            let id = m.flow as usize;
+                            records[id] = Some(FlowRecord {
+                                spec: specs[id].clone(),
+                                hops,
+                                path_latency,
+                                started: m.started,
                                 // Last byte still has to propagate.
-                                finished: now + f.route.latency,
-                                spec,
+                                finished: now + path_latency,
                             });
                             if rec_on {
                                 rec.span(
-                                    flow_track[f.id],
+                                    flow_track[id],
                                     "flow",
                                     "xfer",
-                                    f.started.nanos(),
-                                    (now + f.route.latency).nanos(),
+                                    m.started.nanos(),
+                                    (now + path_latency).nanos(),
                                 );
                             }
-                        } else {
-                            i += 1;
+                        }
+                        if engine.member_count(e) == 0 {
+                            let key = engine.key(e);
+                            if open_aggs.get(&key) == Some(&e) {
+                                open_aggs.remove(&key);
+                            }
+                            engine.remove_entry(e, now);
+                        } else if !popped {
+                            // Timer fired a hair early (float residue):
+                            // re-arm without touching the allocation.
+                            repush.push(e);
                         }
                     }
                 }
             }
 
-            // Re-solve the fair allocation.
-            if !active.is_empty() {
-                let flows: Vec<(&[usize], f64)> = active
-                    .iter()
-                    .map(|f| (f.route.dirs.as_slice(), f.cap))
-                    .collect();
-                let rates = maxmin_rates(self.net, &flows);
-                for (f, r) in active.iter_mut().zip(rates) {
-                    assert!(r > 0.0, "flow starved");
-                    f.rate = r;
+            // Re-solve the fair allocation for the affected subset and
+            // re-arm completion timers for everything that changed.
+            engine.resolve(self.net, now, &mut out_scratch);
+            for &e in out_scratch.iter().chain(&repush) {
+                match engine.due(e) {
+                    Some((t, ep)) => heap.set(e, t, ep),
+                    None => heap.remove(e),
                 }
             }
+            repush.clear();
             // Sample per-link aggregate rate whenever the allocation
-            // changed: Perfetto renders these as step counters.
+            // changed: Perfetto renders these as step counters. Only
+            // links the solver touched can have moved.
             if rec_on {
-                let mut agg = vec![0.0f64; self.net.dir_links()];
-                for f in &active {
-                    for &d in &f.route.dirs {
-                        agg[d] += f.rate;
-                    }
+                if engine.stats.last_dirty > 0 {
+                    rec.counter(
+                        solver_track,
+                        "dirty",
+                        now.nanos(),
+                        engine.stats.last_dirty as f64,
+                    );
                 }
-                for (d, (&a, last)) in agg.iter().zip(&mut last_rate).enumerate() {
-                    if (a - *last).abs() > 1e-6 {
+                for &d in engine.touched_dirs() {
+                    let a = engine.load(d);
+                    if (a - last_rate[d]).abs() > 1e-6 {
                         rec.counter(link_track[d], "rate_mbps", now.nanos(), a / 1e6);
-                        *last = a;
+                        last_rate[d] = a;
                     }
                 }
             }
@@ -723,7 +876,17 @@ impl<'a> FlowSim<'a> {
             })
             .collect();
         specs.clear();
-        Ok((outcomes, NetStats { carried, makespan }))
+        let mut solver = engine.stats;
+        solver.events = events;
+        let carried = engine.into_carried();
+        Ok((
+            outcomes,
+            NetStats {
+                carried,
+                makespan,
+                solver,
+            },
+        ))
     }
 }
 

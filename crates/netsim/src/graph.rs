@@ -4,7 +4,8 @@
 
 use crate::link::{Link, LinkClass, SiteId};
 use des::time::Dur;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
 /// Index of a *directed* capacity resource: link `i` direction a→b is
 /// `2*i`, direction b→a is `2*i + 1`.
@@ -96,6 +97,7 @@ impl Net {
             return Some(Route {
                 dirs: Vec::new(),
                 latency: Dur::ZERO,
+                bottleneck: f64::INFINITY,
             });
         }
         // Dijkstra on propagation latency (ns), tie-broken by hop count
@@ -130,26 +132,28 @@ impl Net {
             return None;
         }
         let mut dirs = Vec::new();
+        let mut bottleneck = f64::INFINITY;
         let mut cur = dst;
         while cur != src {
             let (p, idx) = prev[cur].expect("path exists");
-            dirs.push(self.dir_id(idx, p));
+            let d = self.dir_id(idx, p);
+            bottleneck = bottleneck.min(self.capacity(d));
+            dirs.push(d);
             cur = p;
         }
         dirs.reverse();
         Some(Route {
             dirs,
             latency: Dur::from_nanos(dist[dst].0),
+            bottleneck,
         })
     }
 
     /// Single-flow achievable rate along the route (min capacity), bytes/s.
+    /// The value is cached on the [`Route`] at construction, so this is a
+    /// field read — no per-call walk over the route's links.
     pub fn bottleneck(&self, route: &Route) -> f64 {
-        route
-            .dirs
-            .iter()
-            .map(|&d| self.capacity(d))
-            .fold(f64::INFINITY, f64::min)
+        route.bottleneck
     }
 }
 
@@ -160,11 +164,62 @@ pub struct Route {
     pub dirs: Vec<DirLinkId>,
     /// End-to-end one-way propagation delay.
     pub latency: Dur,
+    /// Min directed capacity along the path, bytes/s (cached at
+    /// construction; `INFINITY` for the empty self-route).
+    pub bottleneck: f64,
 }
 
 impl Route {
     pub fn hops(&self) -> usize {
         self.dirs.len()
+    }
+}
+
+/// Memoized routing: pinned static routes are identical for every flow
+/// between the same site pair under the same outage mask, so the flow
+/// engine interns them here instead of re-running Dijkstra per flow.
+/// Negative results (partitioned pairs) are cached too. Call
+/// [`RouteCache::invalidate`] whenever the outage mask changes.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    map: HashMap<(SiteId, SiteId), Option<Rc<Route>>>,
+    /// Cache statistics: (hits, misses) since construction.
+    hits: u64,
+    misses: u64,
+}
+
+impl RouteCache {
+    pub fn new() -> RouteCache {
+        RouteCache::default()
+    }
+
+    /// The pinned route from `src` to `dst` under the current `down`
+    /// mask, shared via `Rc` across every flow on the pair.
+    pub fn route(
+        &mut self,
+        net: &Net,
+        src: SiteId,
+        dst: SiteId,
+        down: &[bool],
+    ) -> Option<Rc<Route>> {
+        if let Some(r) = self.map.get(&(src, dst)) {
+            self.hits += 1;
+            return r.clone();
+        }
+        self.misses += 1;
+        let r = net.route_avoiding(src, dst, down).map(Rc::new);
+        self.map.insert((src, dst), r.clone());
+        r
+    }
+
+    /// Drop every memoized route (the outage mask changed).
+    pub fn invalidate(&mut self) {
+        self.map.clear();
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -263,6 +318,39 @@ mod tests {
             net.route_avoiding(a, b, &[true, true]).is_none(),
             "cutting A-B and A-C partitions A from B"
         );
+    }
+
+    #[test]
+    fn route_cache_interns_and_invalidates() {
+        let (net, a, _, c) = line3();
+        let mut cache = RouteCache::new();
+        let r1 = cache.route(&net, a, c, &[]).unwrap();
+        let r2 = cache.route(&net, a, c, &[]).unwrap();
+        assert!(Rc::ptr_eq(&r1, &r2), "second lookup is interned");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(r1.bottleneck, net.bottleneck(&r1));
+        // Negative results are cached too.
+        let mut net2 = Net::new();
+        let x = net2.add_site("x");
+        let y = net2.add_site("island");
+        net2.add_site("z");
+        let mut c2 = RouteCache::new();
+        assert!(c2.route(&net2, x, y, &[]).is_none());
+        assert!(c2.route(&net2, x, y, &[]).is_none());
+        assert_eq!(c2.stats(), (1, 1));
+        // Invalidation forgets everything.
+        cache.invalidate();
+        let _ = cache.route(&net, a, c, &[]).unwrap();
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn route_caches_its_bottleneck() {
+        let (net, a, _, c) = line3();
+        let r = net.route(a, c).unwrap();
+        assert_eq!(r.bottleneck, LinkClass::T1.bytes_per_sec());
+        let self_r = net.route(a, a).unwrap();
+        assert!(self_r.bottleneck.is_infinite());
     }
 
     #[test]

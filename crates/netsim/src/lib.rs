@@ -21,14 +21,17 @@
 //! assert!(recs[0].duration().as_secs_f64() < 2.0);
 //! ```
 
+pub mod engine;
 pub mod flow;
 pub mod graph;
 pub mod link;
 pub mod topologies;
 pub mod workload;
 
+pub use engine::{FlowConfig, SolverMode, SolverStats};
 pub use flow::{
     maxmin_rates, FlowError, FlowOutcome, FlowRecord, FlowSim, LinkFault, NetStats, TransferSpec,
 };
-pub use graph::{DirLinkId, Net, Route};
+pub use graph::{DirLinkId, Net, Route, RouteCache};
 pub use link::{Link, LinkClass, SiteId};
+pub use topologies::{dragonfly, fabric_to_wan, fat_tree, Fabric};

@@ -24,6 +24,11 @@ pub enum LinkClass {
     HippiSonet800,
     /// Full gigabit — the NREN program goal.
     Gigabit,
+    /// 100 Gb/s Ethernet — the modern datacenter-fabric edge tier, the
+    /// T3 of the NREN upgrade story replayed thirty years on.
+    Gig100,
+    /// 400 Gb/s Ethernet — modern fabric spine / DCI tier.
+    Gig400,
 }
 
 impl LinkClass {
@@ -37,6 +42,8 @@ impl LinkClass {
             LinkClass::Fddi => 100.0e6,
             LinkClass::HippiSonet800 => 800.0e6,
             LinkClass::Gigabit => 1.0e9,
+            LinkClass::Gig100 => 100.0e9,
+            LinkClass::Gig400 => 400.0e9,
         }
     }
 
@@ -55,6 +62,8 @@ impl LinkClass {
             LinkClass::Fddi => 0.90,
             LinkClass::HippiSonet800 => 0.93,
             LinkClass::Gigabit => 0.95,
+            LinkClass::Gig100 => 0.97,
+            LinkClass::Gig400 => 0.97,
         }
     }
 
@@ -68,7 +77,15 @@ impl LinkClass {
             LinkClass::Fddi => "FDDI (100 Mbps)",
             LinkClass::HippiSonet800 => "HIPPI/SONET (800 Mbps)",
             LinkClass::Gigabit => "Gigabit",
+            LinkClass::Gig100 => "100G Ethernet",
+            LinkClass::Gig400 => "400G Ethernet",
         }
+    }
+
+    /// The modern fabric tiers the NET-1 exhibit sweeps, slowest first —
+    /// the T1→T3→gigabit upgrade story replayed at 2020s line rates.
+    pub fn modern_tiers() -> [LinkClass; 3] {
+        [LinkClass::Gigabit, LinkClass::Gig100, LinkClass::Gig400]
     }
 
     /// All classes that appear on the consortium figure, slowest first.
@@ -116,9 +133,24 @@ mod tests {
             LinkClass::Fddi,
             LinkClass::HippiSonet800,
             LinkClass::Gigabit,
+            LinkClass::Gig100,
+            LinkClass::Gig400,
         ] {
             assert!(c.bits_per_sec() > prev, "{c:?}");
             prev = c.bits_per_sec();
+        }
+    }
+
+    #[test]
+    fn modern_tiers_replay_the_upgrade_ratios() {
+        let [gig, g100, g400] = LinkClass::modern_tiers();
+        // Gigabit→100G is a ~100x jump, larger than the T1→T3 29x the
+        // paper celebrates; 100G→400G is the incremental follow-on.
+        assert!((g100.bits_per_sec() / gig.bits_per_sec() - 100.0).abs() < 1e-6);
+        assert!((g400.bits_per_sec() / g100.bits_per_sec() - 4.0).abs() < 1e-6);
+        for c in [g100, g400] {
+            assert!(c.bytes_per_sec() * 8.0 < c.bits_per_sec());
+            assert!(c.bytes_per_sec() * 8.0 > 0.9 * c.bits_per_sec());
         }
     }
 

@@ -133,6 +133,176 @@ pub fn nsfnet(class: LinkClass) -> Net {
     net
 }
 
+/// A datacenter fabric plus the host sites attached to it — what the
+/// generators below return, and what workload builders consume.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    pub net: Net,
+    /// End-host sites (the only valid flow endpoints inside the fabric).
+    pub hosts: Vec<SiteId>,
+    /// Switch/router sites, in generator order.
+    pub switches: Vec<SiteId>,
+}
+
+fn us(v: u64) -> Dur {
+    Dur::from_micros(v)
+}
+
+/// A k-ary fat-tree (Clos) fabric: k pods of k/2 edge and k/2
+/// aggregation switches, (k/2)² core switches, and k²/4 hosts per pod —
+/// k³/4 hosts total. `host` is the NIC/edge link class, `fabric` the
+/// edge→agg and agg→core class; full bisection needs
+/// `fabric ≥ host × k/2`, which the 100G/400G pairing provides for
+/// k ≤ 8. `k` must be even and ≥ 2.
+///
+/// Site names are prefixed with `tag` so a fabric can be grafted into a
+/// larger net (see [`fabric_to_wan`]) without name collisions.
+pub fn fat_tree(k: usize, host: LinkClass, fabric: LinkClass, tag: &str) -> Fabric {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even, got {k}"
+    );
+    let mut net = Net::new();
+    let half = k / 2;
+    let mut hosts = Vec::new();
+    let mut switches = Vec::new();
+    // Core layer: (k/2)^2 switches, addressed (i, j).
+    let cores: Vec<SiteId> = (0..half * half)
+        .map(|c| net.add_site(format!("{tag}core{c}")))
+        .collect();
+    switches.extend(&cores);
+    for pod in 0..k {
+        let aggs: Vec<SiteId> = (0..half)
+            .map(|a| net.add_site(format!("{tag}p{pod}a{a}")))
+            .collect();
+        let edges: Vec<SiteId> = (0..half)
+            .map(|e| net.add_site(format!("{tag}p{pod}e{e}")))
+            .collect();
+        switches.extend(&aggs);
+        switches.extend(&edges);
+        // Agg a of every pod uplinks to cores [a*half, (a+1)*half).
+        for (a, &agg) in aggs.iter().enumerate() {
+            for j in 0..half {
+                net.add_link(agg, cores[a * half + j], fabric, us(2));
+            }
+            // Full bipartite agg <-> edge inside the pod.
+            for &edge in &edges {
+                net.add_link(agg, edge, fabric, us(1));
+            }
+        }
+        for (e, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let hs = net.add_site(format!("{tag}p{pod}h{}", e * half + h));
+                net.add_link(edge, hs, host, us(1));
+                hosts.push(hs);
+            }
+        }
+    }
+    Fabric {
+        net,
+        hosts,
+        switches,
+    }
+}
+
+/// A dragonfly fabric: `groups` groups of `routers` routers each,
+/// all-to-all local links inside a group, `hosts_per_router` hosts on
+/// every router, and one global link between every pair of groups
+/// (rotating which router carries it, as the canonical balanced
+/// dragonfly does). `local` is the intra-group and host class, `global`
+/// the inter-group class.
+pub fn dragonfly(
+    groups: usize,
+    routers: usize,
+    hosts_per_router: usize,
+    local: LinkClass,
+    global: LinkClass,
+    tag: &str,
+) -> Fabric {
+    assert!(groups >= 2 && routers >= 1 && hosts_per_router >= 1);
+    let mut net = Net::new();
+    let mut hosts = Vec::new();
+    let mut switches = Vec::new();
+    let mut rt = vec![vec![0usize; routers]; groups];
+    for (g, row) in rt.iter_mut().enumerate() {
+        for (r, slot) in row.iter_mut().enumerate() {
+            let id = net.add_site(format!("{tag}g{g}r{r}"));
+            *slot = id;
+            switches.push(id);
+            for h in 0..hosts_per_router {
+                let hs = net.add_site(format!("{tag}g{g}r{r}h{h}"));
+                net.add_link(id, hs, local, us(1));
+                hosts.push(hs);
+            }
+        }
+        // All-to-all local mesh inside the group.
+        for a in 0..routers {
+            for b in (a + 1)..routers {
+                net.add_link(row[a], row[b], local, us(1));
+            }
+        }
+    }
+    // One global link per group pair; the (a, b) pair lands on router
+    // index chosen round-robin so global links spread across routers.
+    let mut spin = 0usize;
+    for a in 0..groups {
+        for b in (a + 1)..groups {
+            let ra = rt[a][spin % routers];
+            let rb = rt[b][(spin + 1) % routers];
+            net.add_link(ra, rb, global, us(5));
+            spin += 1;
+        }
+    }
+    Fabric {
+        net,
+        hosts,
+        switches,
+    }
+}
+
+/// One scenario spanning NIC → datacenter fabric → NREN: a k-ary
+/// fat-tree ("west", at Palo Alto) and a dragonfly ("east", at College
+/// Park) grafted onto the 13-site NSFnet backbone running at `wan`
+/// class. Each fabric's first switches gate onto the backbone site over
+/// two `gateway`-class links. Returns the composed net plus both host
+/// lists (west, east).
+pub fn fabric_to_wan(
+    k: usize,
+    wan: LinkClass,
+    gateway: LinkClass,
+) -> (Net, Vec<SiteId>, Vec<SiteId>) {
+    let mut net = nsfnet(wan);
+    let west = fat_tree(k, LinkClass::Gig100, LinkClass::Gig400, "W.");
+    let east = dragonfly(
+        4,
+        4,
+        k.max(2) / 2,
+        LinkClass::Gig100,
+        LinkClass::Gig400,
+        "E.",
+    );
+    let w_hosts = graft(&mut net, &west, "Palo Alto", gateway);
+    let e_hosts = graft(&mut net, &east, "College Park", gateway);
+    (net, w_hosts, e_hosts)
+}
+
+/// Copy `fab` into `net`, then tie its first two switches to `at` with
+/// `gateway`-class links. Returns the host ids remapped into `net`.
+fn graft(net: &mut Net, fab: &Fabric, at: &str, gateway: LinkClass) -> Vec<SiteId> {
+    let base = net.sites();
+    for s in 0..fab.net.sites() {
+        net.add_site(fab.net.name(s).to_string());
+    }
+    for l in fab.net.links() {
+        net.add_link(base + l.a, base + l.b, l.class, l.latency);
+    }
+    let hub = net.site(at).expect("WAN attachment site exists");
+    for &sw in fab.switches.iter().take(2) {
+        net.add_link(hub, base + sw, gateway, us(50));
+    }
+    fab.hosts.iter().map(|&h| base + h).collect()
+}
+
 /// The CASA gigabit testbed on its own: four sites, HIPPI/SONET.
 pub fn casa_testbed() -> Net {
     let mut net = Net::new();
@@ -218,6 +388,60 @@ mod tests {
         }
         assert!(times[0] > 20.0 * times[1], "T3 ~29x faster than T1");
         assert!(times[1] > 10.0 * times[2], "gigabit ~22x faster than T3");
+    }
+
+    #[test]
+    fn fat_tree_shape_and_reach() {
+        for k in [2usize, 4, 6] {
+            let fab = fat_tree(k, LinkClass::Gig100, LinkClass::Gig400, "");
+            assert_eq!(fab.hosts.len(), k * k * k / 4, "k={k} host count");
+            assert_eq!(
+                fab.switches.len(),
+                k * k / 4 + k * k,
+                "k={k}: (k/2)^2 cores + k pods x k switches"
+            );
+            // Link census: host links k^3/4, edge-agg (k/2)^2 per pod,
+            // agg-core k/2 per agg.
+            let expect_links = k * k * k / 4 + k * (k / 2) * (k / 2) + k * (k / 2) * (k / 2);
+            assert_eq!(fab.net.links().len(), expect_links, "k={k} link count");
+            // Any two hosts reach each other in <= 6 hops (up to core,
+            // down again), and intra-pod pairs stay inside the pod.
+            let a = fab.hosts[0];
+            let b = *fab.hosts.last().unwrap();
+            let r = fab.net.route(a, b).unwrap();
+            assert!(r.hops() <= 6, "k={k}: {} hops", r.hops());
+            assert_eq!(r.bottleneck, LinkClass::Gig100.bytes_per_sec());
+        }
+    }
+
+    #[test]
+    fn dragonfly_shape_and_reach() {
+        let (g, r, p) = (5usize, 4usize, 2usize);
+        let fab = dragonfly(g, r, p, LinkClass::Gig100, LinkClass::Gig400, "");
+        assert_eq!(fab.hosts.len(), g * r * p);
+        assert_eq!(fab.switches.len(), g * r);
+        // local: all-to-all per group + host links; global: one per pair.
+        let expect = g * (r * (r - 1) / 2) + g * r * p + g * (g - 1) / 2;
+        assert_eq!(fab.net.links().len(), expect);
+        let a = fab.hosts[0];
+        let b = *fab.hosts.last().unwrap();
+        let route = fab.net.route(a, b).unwrap();
+        // host->router, <=1 local, global, <=1 local, router->host.
+        assert!(route.hops() <= 5, "{} hops", route.hops());
+    }
+
+    #[test]
+    fn fabric_to_wan_spans_nic_to_nren() {
+        let (net, west, east) = fabric_to_wan(4, LinkClass::Gigabit, LinkClass::Gig100);
+        assert!(!west.is_empty() && !east.is_empty());
+        let r = net.route(west[0], east[0]).unwrap();
+        // Coast-to-coast: through the west fabric, across the backbone,
+        // into the east fabric — bottlenecked by the WAN class.
+        assert!(r.hops() >= 5, "crosses fabric + WAN: {} hops", r.hops());
+        assert_eq!(r.bottleneck, LinkClass::Gigabit.bytes_per_sec());
+        // Intra-fabric traffic never touches the WAN bottleneck.
+        let rw = net.route(west[0], *west.last().unwrap()).unwrap();
+        assert_eq!(rw.bottleneck, LinkClass::Gig100.bytes_per_sec());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! back, and background Poisson traffic.
 
 use crate::flow::TransferSpec;
-use crate::graph::Net;
+use crate::graph::{Net, RouteCache};
 use crate::link::SiteId;
 use des::rng::Rng;
 use des::time::SimTime;
@@ -73,12 +73,53 @@ pub fn visualization_feasibility(
     frame_bytes: u64,
     fps: f64,
 ) -> (f64, f64, bool) {
+    let mut cache = RouteCache::new();
+    visualization_feasibility_cached(net, &mut cache, delta, viewer, frame_bytes, fps)
+}
+
+/// [`visualization_feasibility`] against a shared [`RouteCache`]: the
+/// route (and the bottleneck capacity memoized on it at construction)
+/// is interned, so sweeping many viewer sites runs Dijkstra once per
+/// pair instead of re-walking the route per query.
+pub fn visualization_feasibility_cached(
+    net: &Net,
+    cache: &mut RouteCache,
+    delta: SiteId,
+    viewer: SiteId,
+    frame_bytes: u64,
+    fps: f64,
+) -> (f64, f64, bool) {
     let required = frame_bytes as f64 * fps;
-    let achievable = net
-        .route(delta, viewer)
-        .map(|r| net.bottleneck(&r))
+    let achievable = cache
+        .route(net, delta, viewer, &[])
+        .map(|r| r.bottleneck)
         .unwrap_or(0.0);
     (required, achievable, achievable >= required)
+}
+
+/// Fan-out traffic for fabric-scale runs: `flows` transfers, all
+/// arriving at `start`, each from a random sender in the first
+/// `senders` hosts to a random receiver in the rest. Pareto-sized
+/// (alpha 1.5) around `mean_bytes`, floored at 1 byte and capped at
+/// 100x the mean — the heavy tail short-flow aggregation amortizes.
+pub fn fan_out_traffic(
+    hosts: &[SiteId],
+    senders: usize,
+    rng: &mut Rng,
+    flows: usize,
+    mean_bytes: f64,
+    start: SimTime,
+) -> Vec<TransferSpec> {
+    assert!(senders > 0 && senders < hosts.len());
+    let xm = mean_bytes / 3.0;
+    (0..flows)
+        .map(|_| {
+            let src = hosts[rng.below(senders as u64) as usize];
+            let dst = hosts[senders + rng.below((hosts.len() - senders) as u64) as usize];
+            let bytes = (rng.pareto(xm, 1.5).min(mean_bytes * 100.0) as u64).max(1);
+            TransferSpec::new(src, dst, bytes, start)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -147,5 +188,32 @@ mod tests {
         assert!(ok, "HIPPI handles {req} <= {ach}");
         let (_, _, ok) = visualization_feasibility(&net, delta, darpa, 1_000_000, 24.0);
         assert!(!ok, "T1 cannot carry 24 MB/s");
+        // The cached form interns the route: second query is a hit.
+        let mut cache = crate::graph::RouteCache::new();
+        let a = visualization_feasibility_cached(&net, &mut cache, delta, jpl, 1_000_000, 24.0);
+        let b = visualization_feasibility_cached(&net, &mut cache, delta, jpl, 1_000_000, 24.0);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn fan_out_traffic_splits_senders_and_receivers() {
+        let hosts: Vec<SiteId> = (10..30).collect();
+        let mut rng = Rng::new(3);
+        let specs = fan_out_traffic(&hosts, 5, &mut rng, 500, 1e6, SimTime::ZERO);
+        assert_eq!(specs.len(), 500);
+        for s in &specs {
+            assert!(hosts[..5].contains(&s.src), "sender pool");
+            assert!(hosts[5..].contains(&s.dst), "receiver pool");
+            assert!(s.bytes >= 1);
+            assert_eq!(s.start, SimTime::ZERO);
+        }
+        // Deterministic per seed.
+        let mut rng2 = Rng::new(3);
+        let again = fan_out_traffic(&hosts, 5, &mut rng2, 500, 1e6, SimTime::ZERO);
+        assert!(specs
+            .iter()
+            .zip(&again)
+            .all(|(x, y)| (x.src, x.dst, x.bytes) == (y.src, y.dst, y.bytes)));
     }
 }

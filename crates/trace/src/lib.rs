@@ -97,6 +97,9 @@ pub mod names {
     pub const WAN_FLOWS: &str = "wan flows";
     /// One track per directed WAN link; counters are allocated rate.
     pub const WAN_LINKS: &str = "wan links";
+    /// The WAN flow solver; counters are affected-set (dirty) sizes
+    /// per incremental resolve.
+    pub const WAN_SOLVER: &str = "wan solver";
     /// Host-side kernel tracks (wall-clock time base).
     pub const HOST: &str = "host";
 }
