@@ -13,15 +13,22 @@
 
 use hpcc_bench::{desperf, exhibits as ex, netperf, perf, schedperf};
 
-/// Measure the host kernels, print the table, and drop the machine-
-/// readable snapshot next to the working directory.
-fn bench_kernels() -> String {
-    let rows = perf::snapshot();
+/// Measure the host kernels, enforce the perf gates (lu_factor_par is
+/// never slower than lu_factor; the v2 SIMD kernels hold their speedups
+/// — see `perf::gates`), print the table, and drop the machine-readable
+/// snapshot next to the working directory. `--smoke` shrinks every size
+/// for CI.
+fn bench_kernels(smoke: bool) -> String {
+    let rows = perf::snapshot(smoke);
+    let gates = perf::gates(&rows);
     let json = perf::json(&rows);
     let path = "BENCH_kernels.json";
     match std::fs::write(path, &json) {
-        Ok(()) => format!("{}\nwrote {path}", perf::table(&rows)),
-        Err(e) => format!("{}\ncould not write {path}: {e}", perf::table(&rows)),
+        Ok(()) => format!("{}\n{gates}\nwrote {path}", perf::table(&rows)),
+        Err(e) => format!(
+            "{}\n{gates}\ncould not write {path}: {e}",
+            perf::table(&rows)
+        ),
     }
 }
 
@@ -97,7 +104,7 @@ fn main() {
             "ablations" => ex::ablations(),
             "kernel-profile" => ex::kernel_profile(),
             "timeline" => ex::timeline(),
-            "bench-kernels" => bench_kernels(),
+            "bench-kernels" => bench_kernels(smoke),
             "bench-des" => bench_des(smoke),
             "bench-sched" => bench_sched(smoke),
             "bench-net" => bench_net(smoke),
@@ -155,7 +162,7 @@ fn main() {
                      linpack-sweep, mpp-series, consortium-net, nren-upgrade, casa, cas, \
                      grand-challenges, fft-scaling, \
                      scheduler, sched-service, resilience [--smoke], trace [--smoke], \
-                     ablations, kernel-profile, timeline, bench-kernels, \
+                     ablations, kernel-profile, timeline, bench-kernels [--smoke], \
                      bench-des [--smoke], bench-sched [--smoke], bench-net [--smoke]"
                 );
                 std::process::exit(2);

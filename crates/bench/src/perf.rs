@@ -1,10 +1,12 @@
-//! Host-kernel performance snapshot: measured GFLOP/s for the GEMM
-//! engine and the LU factorisation it drives, against the cache-blocked
-//! baseline. The `report bench-kernels` command prints the table and
-//! writes `BENCH_kernels.json` so perf regressions show up in diffs.
+//! Host-kernel performance snapshot: measured GFLOP/s for the packed
+//! GEMM engine and every kernel the v2 engine accelerates — LU, FFT,
+//! SpMV/CG and the shallow-water sweep — each against its scalar seed
+//! baseline. The `report bench-kernels` command prints the table,
+//! enforces the perf gates ([`gates`]) and writes `BENCH_kernels.json`
+//! so perf regressions show up in diffs.
 
 use des::rng::Rng;
-use hpcc_kernels::{gemm, lu, mat::Mat, matmul};
+use hpcc_kernels::{cg, fft, gemm, lu, mat::Mat, matmul, shallow};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -138,12 +140,15 @@ fn thread_sweep() -> Vec<usize> {
     ts
 }
 
-/// Run the snapshot: GEMM at the acceptance size (512) plus a larger
-/// point, LU sequential vs Rayon up to n=2048 (the LINPACK-style
-/// trailing update is where the engine earns its keep). Each parallel
-/// row pins the Rayon pool to its thread count — the sweep *measures*
-/// parallel speedup instead of assuming the default pool did something.
-pub fn snapshot() -> Vec<PerfRow> {
+/// Run the snapshot: GEMM up to the LU comparison size (2048), LU
+/// sequential vs Rayon at the seed block (nb=64) and the v2 default
+/// ([`lu::DEFAULT_NB`]), then the rest of the v2 engine against its scalar seed
+/// baselines — FFT, SpMV (packed plan vs CSR row loop), a CG iteration
+/// and the shallow-water step. Each parallel row pins the Rayon pool to
+/// its thread count — the sweep *measures* parallel speedup instead of
+/// assuming the default pool did something. `smoke` shrinks every size
+/// so CI can run the full path (and the [`gates`]) in seconds.
+pub fn snapshot(smoke: bool) -> Vec<PerfRow> {
     let sweep = thread_sweep();
     let pool_for = |t: usize| {
         rayon::ThreadPoolBuilder::new()
@@ -153,7 +158,10 @@ pub fn snapshot() -> Vec<PerfRow> {
     };
     let mut rows = Vec::new();
 
-    for n in [256usize, 512, 1024] {
+    // The n=2048 GEMM reference for the lu/gemm gate is measured inside
+    // the LU section below, interleaved with the LU reps.
+    let gemm_sizes: &[usize] = if smoke { &[256] } else { &[256, 512, 1024] };
+    for &n in gemm_sizes {
         let mut rng = Rng::new(1);
         let a = Mat::random(n, n, &mut rng);
         let b = Mat::random(n, n, &mut rng);
@@ -174,7 +182,8 @@ pub fn snapshot() -> Vec<PerfRow> {
         }
     }
 
-    for n in [512usize, 1024, 2048] {
+    let lu_sizes: &[usize] = if smoke { &[512] } else { &[512, 1024, 2048] };
+    for &n in lu_sizes {
         let mut rng = Rng::new(2);
         let a = Mat::random(n, n, &mut rng);
         // Factor-only FLOPs (2n³/3), not the full LINPACK credit: the
@@ -184,19 +193,243 @@ pub fn snapshot() -> Vec<PerfRow> {
             let mut f = a.clone();
             std::hint::black_box(lu_factor_rowupdate(&mut f, 64).unwrap());
         }));
-        rows.push(row("lu_factor_nb64", n, 1, flops, || {
-            let mut f = a.clone();
-            std::hint::black_box(lu::lu_factor(&mut f, 64).unwrap());
-        }));
-        for &t in &sweep {
-            let pool = pool_for(t);
-            rows.push(row("lu_factor_par_nb64", n, t, flops, || {
-                let mut f = a.clone();
-                pool.install(|| std::hint::black_box(lu::lu_factor_par(&mut f, 64).unwrap()));
-            }));
+        // The par-never-slower gate compares the next two rows per nb,
+        // so their reps are interleaved: slow thermal drift (the usual
+        // few-percent wobble on a busy host) then hits both sides
+        // equally instead of penalising whichever ran second. The
+        // lu/gemm ratio gate gets the same treatment: its n=2048 GEMM
+        // reference is timed in this rep loop (same sample count, same
+        // conditions), not minutes earlier. The input clone stays
+        // outside every timed region — the factorisation is in-place.
+        let gemm_b = (n == 2048).then(|| Mat::random(n, n, &mut rng));
+        let mut gemm_best = f64::MAX;
+        for (nb, seq_name, par_name) in [
+            (64usize, "lu_factor_nb64", "lu_factor_par_nb64"),
+            (lu::DEFAULT_NB, "lu_factor", "lu_factor_par"),
+        ] {
+            let reps = match n {
+                n if n >= 2048 => 3,
+                1024 => 5,
+                _ => 6,
+            };
+            {
+                let mut f = a.clone(); // warm-up
+                std::hint::black_box(lu::lu_factor(&mut f, nb).unwrap());
+            }
+            let mut seq_best = f64::MAX;
+            let mut par_best = vec![f64::MAX; sweep.len()];
+            let pools: Vec<_> = sweep.iter().map(|&t| pool_for(t)).collect();
+            for rep in 0..reps {
+                let time_seq = |best: &mut f64| {
+                    let mut f = a.clone();
+                    let t0 = Instant::now();
+                    std::hint::black_box(lu::lu_factor(&mut f, nb).unwrap());
+                    *best = (*best).min(t0.elapsed().as_secs_f64());
+                };
+                let time_par = |par_best: &mut [f64]| {
+                    for (pool, best) in pools.iter().zip(par_best) {
+                        let mut f = a.clone();
+                        let t0 = Instant::now();
+                        pool.install(|| {
+                            std::hint::black_box(lu::lu_factor_par(&mut f, nb).unwrap())
+                        });
+                        *best = (*best).min(t0.elapsed().as_secs_f64());
+                    }
+                };
+                // Alternate which side runs first so any per-rep warm-up
+                // effect cancels instead of always favouring one row.
+                if rep % 2 == 0 {
+                    time_seq(&mut seq_best);
+                    time_par(&mut par_best);
+                } else {
+                    time_par(&mut par_best);
+                    time_seq(&mut seq_best);
+                }
+                if nb == lu::DEFAULT_NB {
+                    if let Some(b) = &gemm_b {
+                        let t0 = Instant::now();
+                        std::hint::black_box(gemm::gemm(&a, b));
+                        gemm_best = gemm_best.min(t0.elapsed().as_secs_f64());
+                    }
+                }
+            }
+            rows.push(PerfRow {
+                kernel: seq_name,
+                n,
+                threads: 1,
+                ms: seq_best * 1e3,
+                gflops: flops / seq_best / 1e9,
+            });
+            for (&t, &secs) in sweep.iter().zip(&par_best) {
+                rows.push(PerfRow {
+                    kernel: par_name,
+                    n,
+                    threads: t,
+                    ms: secs * 1e3,
+                    gflops: flops / secs / 1e9,
+                });
+            }
+        }
+        if gemm_best < f64::MAX {
+            let gflops = matmul::matmul_flops(n, n, n);
+            rows.push(PerfRow {
+                kernel: "gemm",
+                n,
+                threads: 1,
+                ms: gemm_best * 1e3,
+                gflops: gflops / gemm_best / 1e9,
+            });
         }
     }
+
+    // FFT: a forward+inverse pair per rep (credited as two transforms)
+    // so the timing needs no per-rep buffer reset.
+    let fft_n = if smoke { 1 << 14 } else { 1 << 20 };
+    {
+        let mut rng = Rng::new(4);
+        let mut x: Vec<fft::Cpx> = (0..fft_n)
+            .map(|_| fft::Cpx::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let flops = 2.0 * fft::fft_flops(fft_n);
+        rows.push(row("fft_baseline", fft_n, 1, flops, || {
+            fft::fft_baseline(&mut x);
+            fft::ifft_baseline(&mut x);
+            std::hint::black_box(&mut x);
+        }));
+        rows.push(row("fft", fft_n, 1, flops, || {
+            fft::fft(&mut x);
+            fft::ifft(&mut x);
+            std::hint::black_box(&mut x);
+        }));
+    }
+
+    // SpMV on the 5-point Poisson operator. g=256 keeps x L2-resident
+    // (the compute-bound regime the interleaved plan targets); the
+    // larger grid is DRAM-bound and honest about it. 50 products per
+    // rep so each timing is well above clock granularity.
+    let spmv_grids: &[usize] = if smoke { &[64] } else { &[256, 1024] };
+    for &g in spmv_grids {
+        let a = cg::Csr::poisson2d(g);
+        let n = a.n();
+        let plan = cg::SpmvPlan::new(&a);
+        let mut rng = Rng::new(5);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut y = vec![0.0; n];
+        const PRODUCTS: usize = 50;
+        let flops = PRODUCTS as f64 * 2.0 * a.nnz() as f64;
+        rows.push(row("spmv_csr", n, 1, flops, || {
+            for _ in 0..PRODUCTS {
+                a.spmv(&x, &mut y);
+            }
+            std::hint::black_box(&mut y);
+        }));
+        rows.push(row("spmv_plan", n, 1, flops, || {
+            for _ in 0..PRODUCTS {
+                plan.spmv(&x, &mut y);
+            }
+            std::hint::black_box(&mut y);
+        }));
+        // A full CG iteration (SpMV + 5 vector ops) through the same plan.
+        let b: Vec<f64> = vec![1.0; n];
+        let iters = 25;
+        let flops = iters as f64 * cg::cg_iter_flops(n, a.nnz());
+        rows.push(row("cg_iter", n, 1, flops, || {
+            let mut xs = vec![0.0; n];
+            std::hint::black_box(cg::cg(&a, &b, &mut xs, 0.0, iters, false));
+        }));
+    }
+
+    // Shallow water: the fused/vectorised v2 step against the seed
+    // sweep, several steps per rep.
+    let sw_m = if smoke { 128 } else { 512 };
+    {
+        const STEPS: usize = 10;
+        let flops = STEPS as f64 * shallow::step_flops(sw_m);
+        let mut base = shallow::Shallow::new(sw_m);
+        base.step_baseline(false); // past the leapfrog start-up
+        rows.push(row("shallow_baseline", sw_m, 1, flops, || {
+            for _ in 0..STEPS {
+                base.step_baseline(false);
+            }
+            std::hint::black_box(&base.p);
+        }));
+        let mut v2 = shallow::Shallow::new(sw_m);
+        v2.step(false);
+        rows.push(row("shallow_step", sw_m, 1, flops, || {
+            for _ in 0..STEPS {
+                v2.step(false);
+            }
+            std::hint::black_box(&v2.p);
+        }));
+    }
     rows
+}
+
+/// The perf gates `report bench-kernels` enforces, returned as summary
+/// lines. Panics (fails the report) when a gate is violated:
+///
+/// * `lu_factor_par` must never be slower than `lu_factor` — the pool
+///   fan-out must fall through to the identical sequential sweep when it
+///   cannot help (10% measurement tolerance).
+/// * At n=2048 (full runs) LU must sustain ≥ 80% of the same-run GEMM
+///   rate — the near-peak target the packed TRSM/panel kernels exist for.
+/// * The v2 FFT, SpMV-plan and shallow sweeps must hold ≥ 1.5× over
+///   their scalar seed baselines in the compute-bound rows (full runs).
+pub fn gates(rows: &[PerfRow]) -> String {
+    let mut s = String::new();
+    let best = |kernel: &str, n: usize| -> Option<&PerfRow> {
+        rows.iter()
+            .filter(|r| r.kernel == kernel && r.n == n)
+            .min_by(|a, b| a.ms.total_cmp(&b.ms))
+    };
+
+    for (seq, par) in [
+        ("lu_factor_nb64", "lu_factor_par_nb64"),
+        ("lu_factor", "lu_factor_par"),
+    ] {
+        for r in rows.iter().filter(|r| r.kernel == seq) {
+            if let Some(p) = best(par, r.n) {
+                assert!(
+                    p.ms <= r.ms * 1.10,
+                    "gate: {par} ({:.1} ms) slower than {seq} ({:.1} ms) at n={}",
+                    p.ms,
+                    r.ms,
+                    r.n
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "gate lu_factor_par >= lu_factor: ok");
+
+    if let (Some(l), Some(g)) = (best("lu_factor", 2048), best("gemm", 2048)) {
+        let ratio = l.gflops / g.gflops;
+        assert!(
+            ratio >= 0.80,
+            "gate: LU at n=2048 is {:.0}% of GEMM (< 80%)",
+            ratio * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "gate lu/gemm at n=2048: {:.0}% of the packed GEMM rate (>= 80%)",
+            ratio * 100.0
+        );
+    }
+
+    for (fast, base, n, need) in [
+        ("fft", "fft_baseline", 1 << 20, 1.5),
+        ("spmv_plan", "spmv_csr", 256 * 256, 1.5),
+        ("shallow_step", "shallow_baseline", 512, 1.5),
+    ] {
+        if let (Some(f), Some(b)) = (best(fast, n), best(base, n)) {
+            let speedup = b.ms / f.ms;
+            assert!(
+                speedup >= need,
+                "gate: {fast} only {speedup:.2}x over {base} at n={n} (< {need}x)"
+            );
+            let _ = writeln!(s, "gate {fast}/{base} at n={n}: {speedup:.2}x (>= {need}x)");
+        }
+    }
+    s
 }
 
 /// Human-readable table for the report output.

@@ -1,8 +1,32 @@
 //! Sparse conjugate gradient — the DOE "energy and grand challenge
 //! computational research" kernel: CSR storage, sequential and Rayon
 //! SpMV, and a preconditioner-free CG solver.
+//!
+//! ## Engine v2: the packed SpMV plan
+//!
+//! [`Csr::spmv`]'s row-at-a-time dot products are latency-bound: every
+//! entry is a dependent scalar multiply-add, and short rows (5-point
+//! Laplacian: ≤ 5 entries) leave nothing for the vector units.
+//! [`SpmvPlan`] re-packs the matrix once into 16-row blocks with the
+//! entries *row-interleaved* — group `e` holds entry `e` of each of the
+//! sixteen rows, columns (`u32`) and values side by side, short rows
+//! padded with explicit `(col 0, 0.0)` entries to the block's longest
+//! row. The AVX2 kernel then keeps one row per lane across four
+//! 4-lane accumulators: load 16 values, assemble the 16 `x[col]`
+//! operands with scalar loads (no `vgatherdpd` — slower than plain
+//! loads on most AVX2 parts), multiply, add. Sixteen rows per block is
+//! deliberate: the per-lane add chain is latency-bound, and four
+//! independent accumulator registers overlap it. Each lane performs
+//! exactly the scalar row sum's operations in exactly its order —
+//! multiply then add, no FMA — so the packed kernel reproduces
+//! [`Csr::spmv`] bit-for-bit (for finite `x`; a padded `0.0·x[0]`
+//! contributes an exact `±0.0`). The parallel variant fans the same
+//! blocks out over Rayon and is bit-identical at any thread count,
+//! matching `spmv_par`'s per-row determinism. [`cg`] builds one plan
+//! up front and runs every iteration's SpMV through it.
 
 use crate::mat::vecops::{axpy, dot, norm2};
+use crate::simd;
 use rayon::prelude::*;
 
 /// Compressed sparse row matrix.
@@ -112,6 +136,153 @@ impl Csr {
     }
 }
 
+/// Rows per packed block: four 4-lane accumulator chains' worth.
+const BLOCK_ROWS: usize = 16;
+
+/// Packed 16-row-interleaved SpMV plan (see the module docs). Build once
+/// per matrix, reuse for every product; results are bit-identical to
+/// [`Csr::spmv`] for finite operands.
+#[derive(Debug, Clone)]
+pub struct SpmvPlan {
+    n: usize,
+    /// Group range per block: block `b`'s entry groups are
+    /// `block_ptr[b]..block_ptr[b+1]`; group `g` occupies
+    /// `cols[16g..16g+16]` / `vals[16g..16g+16]`, one lane per row.
+    block_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SpmvPlan {
+    /// Pack `a` into the interleaved block layout.
+    pub fn new(a: &Csr) -> SpmvPlan {
+        let n = a.n;
+        assert!(n < u32::MAX as usize, "SpmvPlan stores u32 columns");
+        let nblocks = n.div_ceil(BLOCK_ROWS);
+        let mut block_ptr = Vec::with_capacity(nblocks + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        block_ptr.push(0);
+        for b in 0..nblocks {
+            let r0 = BLOCK_ROWS * b;
+            let rows_here = BLOCK_ROWS.min(n - r0);
+            let rowlen = |l: usize| a.indptr[r0 + l + 1] - a.indptr[r0 + l];
+            let maxlen = (0..rows_here).map(rowlen).max().unwrap_or(0);
+            for e in 0..maxlen {
+                for l in 0..BLOCK_ROWS {
+                    if l < rows_here && e < rowlen(l) {
+                        let idx = a.indptr[r0 + l] + e;
+                        cols.push(a.indices[idx] as u32);
+                        vals.push(a.data[idx]);
+                    } else {
+                        // Padding: an exact no-op lane (0.0 · x[0]).
+                        cols.push(0);
+                        vals.push(0.0);
+                    }
+                }
+            }
+            block_ptr.push(cols.len() / BLOCK_ROWS);
+        }
+        SpmvPlan {
+            n,
+            block_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packed entries (including padding lanes) — the plan's memory
+    /// footprint in entry units; `≥ nnz`, with equality when every row
+    /// in a block has the same length.
+    pub fn packed_entries(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// y = A·x through the packed plan, sequential.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let use_simd = simd::avx2_fma_available();
+        for (b, yb) in y.chunks_mut(BLOCK_ROWS).enumerate() {
+            self.block(b, x, yb, use_simd);
+        }
+    }
+
+    /// y = A·x through the packed plan, Rayon over 16-row blocks.
+    /// Blocks are independent, so this is bit-identical to [`Self::spmv`]
+    /// at any thread count.
+    pub fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let use_simd = simd::avx2_fma_available();
+        y.par_chunks_mut(BLOCK_ROWS)
+            .enumerate()
+            .for_each(|(b, yb)| self.block(b, x, yb, use_simd));
+    }
+
+    /// One block: `yb` holds the block's 1–16 output rows.
+    #[inline]
+    fn block(&self, b: usize, x: &[f64], yb: &mut [f64], use_simd: bool) {
+        let groups = self.block_ptr[b]..self.block_ptr[b + 1];
+        let cols = &self.cols[BLOCK_ROWS * groups.start..BLOCK_ROWS * groups.end];
+        let vals = &self.vals[BLOCK_ROWS * groups.start..BLOCK_ROWS * groups.end];
+        let mut acc = [0.0f64; BLOCK_ROWS];
+        if use_simd {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: dispatch guarded by `avx2_fma_available`.
+                unsafe { block_avx2(cols, vals, x, &mut acc) };
+                yb.copy_from_slice(&acc[..yb.len()]);
+                return;
+            }
+        }
+        for (cg, vg) in cols
+            .chunks_exact(BLOCK_ROWS)
+            .zip(vals.chunks_exact(BLOCK_ROWS))
+        {
+            for l in 0..BLOCK_ROWS {
+                acc[l] += vg[l] * x[cg[l] as usize];
+            }
+        }
+        yb.copy_from_slice(&acc[..yb.len()]);
+    }
+}
+
+/// AVX2 block kernel: one row per lane over four accumulator registers
+/// (independent add chains overlap the FP-add latency), `x` operands
+/// assembled with scalar loads, multiply-then-add (no FMA) — per lane
+/// exactly the scalar row sum, so bit-identical to [`Csr::spmv`] on
+/// finite input.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn block_avx2(cols: &[u32], vals: &[f64], x: &[f64], acc: &mut [f64; BLOCK_ROWS]) {
+    use std::arch::x86_64::*;
+    let mut s = [_mm256_setzero_pd(); 4];
+    let xp = x.as_ptr();
+    for (cg, vg) in cols
+        .chunks_exact(BLOCK_ROWS)
+        .zip(vals.chunks_exact(BLOCK_ROWS))
+    {
+        for q in 0..4 {
+            let v = _mm256_loadu_pd(vg.as_ptr().add(4 * q));
+            let g = _mm256_set_pd(
+                *xp.add(cg[4 * q + 3] as usize),
+                *xp.add(cg[4 * q + 2] as usize),
+                *xp.add(cg[4 * q + 1] as usize),
+                *xp.add(cg[4 * q] as usize),
+            );
+            s[q] = _mm256_add_pd(s[q], _mm256_mul_pd(v, g));
+        }
+    }
+    for (q, sv) in s.iter().enumerate() {
+        _mm256_storeu_pd(acc.as_mut_ptr().add(4 * q), *sv);
+    }
+}
+
 /// CG convergence report.
 #[derive(Debug, Clone, Copy)]
 pub struct CgResult {
@@ -135,22 +306,25 @@ pub fn cg(
     assert_eq!(x.len(), n);
     let bnorm = norm2(b).max(1e-300);
 
+    // One packed plan for the whole solve; every iteration's product
+    // runs through it (bit-identical to the CSR row loop).
+    let plan = SpmvPlan::new(a);
     let mut ax = vec![0.0; n];
-    let spmv = |a: &Csr, x: &[f64], y: &mut [f64]| {
+    let spmv = |p: &SpmvPlan, x: &[f64], y: &mut [f64]| {
         if parallel {
-            a.spmv_par(x, y)
+            p.spmv_par(x, y)
         } else {
-            a.spmv(x, y)
+            p.spmv(x, y)
         }
     };
-    spmv(a, x, &mut ax);
+    spmv(&plan, x, &mut ax);
     let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
     let mut p = r.clone();
     let mut rs = dot(&r, &r);
 
     let mut iters = 0;
     while iters < max_iters && rs.sqrt() / bnorm > tol {
-        spmv(a, &p, &mut ax); // ax = A p
+        spmv(&plan, &p, &mut ax); // ax = A p
         let alpha = rs / dot(&p, &ax).max(1e-300);
         axpy(alpha, &p, x);
         axpy(-alpha, &ax, &mut r);
@@ -212,6 +386,31 @@ mod tests {
         a.spmv(&x, &mut ys);
         a.spmv_par(&x, &mut yp);
         assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn plan_spmv_is_exactly_csr_spmv() {
+        // Tail blocks (n % 4 ≠ 0), empty rows, ragged row lengths —
+        // the packed plan must reproduce the row loop bit-for-bit.
+        let cases: Vec<Csr> = vec![
+            Csr::poisson2d(13),
+            Csr::from_triplets(7, &[(0, 6, 2.5), (3, 0, -1.25), (3, 3, 4.0), (6, 2, 0.5)]),
+            Csr::from_triplets(1, &[(0, 0, 3.0)]),
+        ];
+        for a in &cases {
+            let n = a.n();
+            let x: Vec<f64> = (0..n).map(|i| ((i * 11) % 17) as f64 - 8.0).collect();
+            let plan = SpmvPlan::new(a);
+            assert!(plan.packed_entries() >= a.nnz());
+            let mut yr = vec![0.0; n];
+            let mut yp = vec![0.0; n];
+            let mut ypp = vec![0.0; n];
+            a.spmv(&x, &mut yr);
+            plan.spmv(&x, &mut yp);
+            plan.spmv_par(&x, &mut ypp);
+            assert_eq!(yr, yp, "plan vs row loop (n={n})");
+            assert_eq!(yp, ypp, "plan par vs seq (n={n})");
+        }
     }
 
     #[test]

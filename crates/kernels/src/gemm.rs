@@ -285,7 +285,12 @@ fn gemm_packed(
                 };
                 // `c` covers exactly m rows; chunk it MC rows at a time.
                 let t_kern = trace.map(WallTrack::now_ns);
-                if parallel && m > MC {
+                // Rayon fan-out only pays for itself with real threads
+                // and more than one MC-row panel; otherwise fall through
+                // to the identical sequential sweep (this is what makes
+                // `lu_factor_par` never slower than `lu_factor` on a
+                // single-core host — same code path, zero overhead).
+                if parallel && m > MC && rayon::current_num_threads() > 1 {
                     c.par_chunks_mut(panel_rows)
                         .enumerate()
                         .for_each(update_panel);

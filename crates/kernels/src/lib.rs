@@ -26,3 +26,4 @@ pub mod multigrid;
 pub mod nbody;
 pub mod shallow;
 pub mod sim;
+pub mod simd;
