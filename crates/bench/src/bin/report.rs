@@ -6,12 +6,14 @@
 //! nren-upgrade, casa, cas, grand-challenges, fft-scaling,
 //! resilience (accepts `--smoke` for a fast sweep),
 //! trace (accepts `--smoke`; writes TRACE_chrome.json +
-//! TRACE_summary.txt), index.
+//! TRACE_summary.txt), telemetry (accepts `--smoke`; writes
+//! BENCH_telemetry.json), prom-sample (prints one `/metrics`
+//! exposition for lint checks), index.
 //!
 //! `report all --out <path>` writes the concatenated exhibits to a file
 //! instead of stdout (used to regenerate `report_all.txt`).
 
-use hpcc_bench::{desperf, exhibits as ex, netperf, perf, schedperf};
+use hpcc_bench::{desperf, exhibits as ex, netperf, perf, schedperf, telemetry};
 
 /// Measure the host kernels, enforce the perf gates (lu_factor_par is
 /// never slower than lu_factor; the v2 SIMD kernels hold their speedups
@@ -71,6 +73,45 @@ fn bench_net(smoke: bool) -> String {
     }
 }
 
+/// Exhibit OBS-2: drive the streaming recorder through the synthetic
+/// pump and the faulted engine scenarios with live HTTP scrapers,
+/// enforce the gates (throughput floor, balanced ledgers, bit-identity,
+/// overhead budget), print the table, and drop the machine-readable
+/// snapshot. `--smoke` shrinks every scenario for CI.
+fn bench_telemetry(smoke: bool) -> String {
+    let rows = telemetry::snapshot(smoke);
+    let gates = telemetry::gates(&rows, smoke);
+    let json = telemetry::json(&rows);
+    let path = "BENCH_telemetry.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => format!("{}\n{gates}\nwrote {path}", telemetry::table(&rows)),
+        Err(e) => format!(
+            "{}\n{gates}\ncould not write {path}: {e}",
+            telemetry::table(&rows)
+        ),
+    }
+}
+
+/// Print one deterministic `/metrics` exposition from a small recorded
+/// scenario — exactly what a live `TelemetryServer` would serve. CI
+/// lints this output for Prometheus text-format essentials.
+fn prom_sample() -> String {
+    use hpcc_trace::{names, Recorder, StreamRecorder};
+    let rec = StreamRecorder::new();
+    let compute = rec.track(names::MESH_NODES, "node 0");
+    let solver = rec.track(names::WAN_SOLVER, "engine");
+    let mut t = 0u64;
+    for i in 0u64..64 {
+        let dur = 1_000 + i * i * 500;
+        rec.span(compute, "compute", "dgefa panel", t, t + dur);
+        t += dur + 250;
+    }
+    rec.counter(solver, "full_resolves", t, 17.0);
+    rec.counter(solver, "dirty", t, 3.0);
+    rec.instant(compute, "fault", "node crash", t);
+    rec.prometheus_text()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("index");
@@ -108,6 +149,8 @@ fn main() {
             "bench-des" => bench_des(smoke),
             "bench-sched" => bench_sched(smoke),
             "bench-net" => bench_net(smoke),
+            "telemetry" => bench_telemetry(smoke),
+            "prom-sample" => prom_sample(),
             "index" => ex::index(),
             _ => return None,
         })
@@ -163,7 +206,8 @@ fn main() {
                      grand-challenges, fft-scaling, \
                      scheduler, sched-service, resilience [--smoke], trace [--smoke], \
                      ablations, kernel-profile, timeline, bench-kernels [--smoke], \
-                     bench-des [--smoke], bench-sched [--smoke], bench-net [--smoke]"
+                     bench-des [--smoke], bench-sched [--smoke], bench-net [--smoke], \
+                     telemetry [--smoke], prom-sample"
                 );
                 std::process::exit(2);
             }

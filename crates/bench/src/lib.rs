@@ -12,3 +12,4 @@ pub mod exhibits;
 pub mod netperf;
 pub mod perf;
 pub mod schedperf;
+pub mod telemetry;

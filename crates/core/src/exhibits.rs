@@ -227,6 +227,22 @@ pub fn registry() -> &'static [Exhibit] {
             bench: None,
         },
         Exhibit {
+            id: "OBS-2",
+            title: "Live telemetry service: streaming recorder, Prometheus /metrics and \
+                    Chrome-trace chunks over HTTP under concurrent scrapers",
+            kind: ExhibitKind::Table,
+            report_cmd: "telemetry",
+            modules: &[
+                "hpcc_trace::stream",
+                "hpcc_trace::http",
+                "delta_mesh::shard",
+                "delta_mesh::sched",
+                "nren_netsim::flow",
+                "hpcc_kernels::sim::lu2d",
+            ],
+            bench: Some("telemetry"),
+        },
+        Exhibit {
             id: "GC-0",
             title: "ASTA kernel profile on the simulated Delta (who scales, who doesn't)",
             kind: ExhibitKind::Figure,

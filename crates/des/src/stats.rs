@@ -106,6 +106,37 @@ impl Summary {
     }
 }
 
+/// Why two histograms could not be merged: their bucket geometries
+/// (origin, bucket width, bucket count) differ, so bucket `i` of one
+/// covers a different value range than bucket `i` of the other and a
+/// count-wise merge would silently misfile every sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometryMismatch {
+    pub self_lo: f64,
+    pub self_width: f64,
+    pub self_buckets: usize,
+    pub other_lo: f64,
+    pub other_width: f64,
+    pub other_buckets: usize,
+}
+
+impl std::fmt::Display for GeometryMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram geometries differ: [{}, w={}, n={}] vs [{}, w={}, n={}]",
+            self.self_lo,
+            self.self_width,
+            self.self_buckets,
+            self.other_lo,
+            self.other_width,
+            self.other_buckets
+        )
+    }
+}
+
+impl std::error::Error for GeometryMismatch {}
+
 /// Fixed-width linear histogram with overflow bucket.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -127,6 +158,32 @@ impl Histogram {
             overflow: 0,
             underflow: 0,
         }
+    }
+
+    /// Rebuild a histogram from pre-aggregated bucket counts covering
+    /// `[lo, hi)` — the bridge used by streaming recorders that keep
+    /// their counts in atomic cells and only materialize a `Histogram`
+    /// at scrape time (for [`Histogram::try_merge`] and
+    /// [`Histogram::quantile`]).
+    pub fn from_counts(lo: f64, hi: f64, counts: &[u64]) -> Histogram {
+        assert!(hi > lo && !counts.is_empty());
+        Histogram {
+            lo,
+            width: (hi - lo) / counts.len() as f64,
+            buckets: counts.to_vec(),
+            overflow: 0,
+            underflow: 0,
+        }
+    }
+
+    /// Lower edge of bucket 0.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> f64 {
+        self.width
     }
 
     pub fn add(&mut self, x: f64) {
@@ -185,26 +242,38 @@ impl Histogram {
         Some(self.lo + self.buckets.len() as f64 * self.width)
     }
 
-    /// Merge another histogram into this one. Both must share the same
-    /// geometry (`lo`, bucket width, bucket count).
-    pub fn merge(&mut self, other: &Histogram) {
-        assert!(
-            self.lo == other.lo
-                && self.width == other.width
-                && self.buckets.len() == other.buckets.len(),
-            "histogram geometries differ: [{}, w={}, n={}] vs [{}, w={}, n={}]",
-            self.lo,
-            self.width,
-            self.buckets.len(),
-            other.lo,
-            other.width,
-            other.buckets.len()
-        );
+    /// Merge another histogram into this one, or report exactly how the
+    /// geometries disagree. On `Err` this histogram is unchanged.
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), GeometryMismatch> {
+        if self.lo != other.lo
+            || self.width != other.width
+            || self.buckets.len() != other.buckets.len()
+        {
+            return Err(GeometryMismatch {
+                self_lo: self.lo,
+                self_width: self.width,
+                self_buckets: self.buckets.len(),
+                other_lo: other.lo,
+                other_width: other.width,
+                other_buckets: other.buckets.len(),
+            });
+        }
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
         self.overflow += other.overflow;
         self.underflow += other.underflow;
+        Ok(())
+    }
+
+    /// Merge another histogram into this one. Both must share the same
+    /// geometry (`lo`, bucket width, bucket count); panics otherwise —
+    /// use [`Histogram::try_merge`] when the geometries come from
+    /// untrusted or independently-configured sources.
+    pub fn merge(&mut self, other: &Histogram) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -322,5 +391,51 @@ mod tests {
         let mut a = Histogram::new(0.0, 50.0, 25);
         let b = Histogram::new(0.0, 60.0, 25);
         a.merge(&b);
+    }
+
+    #[test]
+    fn try_merge_reports_both_geometries_and_leaves_self_intact() {
+        let mut a = Histogram::new(0.0, 50.0, 25);
+        a.add(10.0);
+        let mut b = Histogram::new(0.0, 60.0, 30);
+        b.add(10.0);
+        let err = a.try_merge(&b).unwrap_err();
+        assert_eq!(err.self_lo, 0.0);
+        assert_eq!(err.self_buckets, 25);
+        assert_eq!(err.other_buckets, 30);
+        assert_eq!(err.other_width, 2.0);
+        assert!(err.to_string().contains("geometries differ"));
+        // a must be untouched by the failed merge.
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.bucket(5), 1);
+    }
+
+    #[test]
+    fn merged_empty_histograms_still_have_no_quantiles() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        let b = Histogram::new(0.0, 100.0, 10);
+        a.try_merge(&b).unwrap();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), None);
+        assert_eq!(a.quantile(1.0), None);
+    }
+
+    #[test]
+    fn from_counts_round_trips_geometry_and_quantiles() {
+        let mut h = Histogram::new(0.0, 64.0, 32);
+        for i in 0..640 {
+            h.add((i % 64) as f64);
+        }
+        let rebuilt = Histogram::from_counts(0.0, 64.0, h.buckets());
+        assert_eq!(rebuilt.lo(), h.lo());
+        assert_eq!(rebuilt.width(), h.width());
+        assert_eq!(rebuilt.count(), h.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(rebuilt.quantile(q), h.quantile(q));
+        }
+        // And the rebuilt histogram merges with the original geometry.
+        let mut m = rebuilt.clone();
+        m.try_merge(&h).unwrap();
+        assert_eq!(m.count(), 2 * h.count());
     }
 }

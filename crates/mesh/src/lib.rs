@@ -27,7 +27,7 @@ pub mod collective;
 pub mod machine;
 pub mod partition;
 pub mod sched;
-mod shard;
+pub mod shard;
 pub mod sim;
 pub mod topology;
 
@@ -40,5 +40,6 @@ pub use sched::service::{
     ServiceReport, ServiceTrace, ShedTiers, Submission,
 };
 pub use sched::{consortium_workload, Job, JobRecord, KilledAttempt, Policy, SchedReport};
+pub use shard::LaneStats;
 pub use sim::{CommError, FaultStats, Machine, Msg, Node, Payload, RetryPolicy, RunReport};
 pub use topology::{LinkId, Topology};

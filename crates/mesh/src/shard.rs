@@ -132,8 +132,11 @@ struct Shared {
     /// then casualties, not deadlocks).
     faulted: AtomicBool,
     /// Synchronization rounds (windows) executed — a diagnostic for the
-    /// window/event ratio, printed when `HPCC_LANE_STATS` is set.
+    /// window/event ratio, surfaced through [`LaneStats`].
     rounds: AtomicU64,
+    /// Cross-lane messages exchanged through the mailboxes — boundary
+    /// traffic volume, surfaced through [`LaneStats`].
+    mail_msgs: AtomicU64,
     /// Blocked-node diagnostics, filled only on the deadlock path.
     stuck: Mutex<Vec<String>>,
 }
@@ -148,6 +151,7 @@ impl Shared {
             live: (0..lanes).map(|_| AtomicUsize::new(0)).collect(),
             faulted: AtomicBool::new(false),
             rounds: AtomicU64::new(0),
+            mail_msgs: AtomicU64::new(0),
             stuck: Mutex::new(Vec::new()),
         }
     }
@@ -325,6 +329,9 @@ impl<T> Lane<T> {
         if sh.outbox.is_empty() {
             return;
         }
+        shared
+            .mail_msgs
+            .fetch_add(sh.outbox.len() as u64, Ordering::Relaxed);
         for (dst, msg) in sh.outbox.drain(..) {
             let dlane = sh.map.lane_of(dst);
             shared.mail[dlane][self.lane]
@@ -451,6 +458,54 @@ fn assemble<T>(cfg: &MachineConfig, outs: Vec<LaneOut<T>>) -> (Vec<Option<T>>, R
     (results, report)
 }
 
+/// Lane-runtime diagnostics for one sharded run: window count, event
+/// throughput per lane, and cross-lane mailbox traffic. This is the
+/// `HPCC_LANE_STATS` diagnostic promoted to a first-class value —
+/// returned by [`crate::sim::Machine::run_sharded_stats`] and exportable
+/// as [`hpcc_trace::names::DES_LANES`] track counters via
+/// [`LaneStats::emit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneStats {
+    /// Lanes the machine was split into (1 = legacy single-queue run).
+    pub lanes: usize,
+    /// Synchronization windows executed (0 on the legacy engine).
+    pub rounds: u64,
+    /// Events processed, summed over lanes.
+    pub events: u64,
+    /// Messages exchanged through the cross-lane mailboxes.
+    pub mail_msgs: u64,
+    /// Events processed by each lane, in lane order.
+    pub per_lane_events: Vec<u64>,
+}
+
+impl LaneStats {
+    /// Mean events per synchronization window — the conservative-parallel
+    /// efficiency figure (higher = less barrier overhead per event).
+    pub fn events_per_round(&self) -> f64 {
+        self.events as f64 / self.rounds.max(1) as f64
+    }
+
+    /// Record the lane diagnostics as counters at `at_ns`: an aggregate
+    /// `engine` track (rounds, events, mailbox traffic, events/round)
+    /// plus one track per lane, all under
+    /// [`hpcc_trace::names::DES_LANES`].
+    pub fn emit(&self, rec: &dyn hpcc_trace::Recorder, at_ns: u64) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let agg = rec.track(hpcc_trace::names::DES_LANES, "engine");
+        rec.counter(agg, "lanes", at_ns, self.lanes as f64);
+        rec.counter(agg, "rounds", at_ns, self.rounds as f64);
+        rec.counter(agg, "events", at_ns, self.events as f64);
+        rec.counter(agg, "mail_msgs", at_ns, self.mail_msgs as f64);
+        rec.counter(agg, "events_per_round", at_ns, self.events_per_round());
+        for (lane, &ev) in self.per_lane_events.iter().enumerate() {
+            let t = rec.track(hpcc_trace::names::DES_LANES, &format!("lane {lane}"));
+            rec.counter(t, "events", at_ns, ev as f64);
+        }
+    }
+}
+
 /// Entry point used by [`crate::sim::Machine`]: run `program` on every
 /// node across `lanes` event-engine shards.
 pub(crate) fn run<T, F, Fut>(
@@ -458,7 +513,7 @@ pub(crate) fn run<T, F, Fut>(
     lanes: usize,
     plan: &FaultPlan,
     program: &F,
-) -> (Vec<Option<T>>, RunReport)
+) -> (Vec<Option<T>>, RunReport, LaneStats)
 where
     T: Send + 'static,
     F: Fn(Node) -> Fut + Sync,
@@ -507,15 +562,25 @@ where
             program,
         ),
     };
+    let stats = LaneStats {
+        lanes,
+        rounds: shared.rounds.load(Ordering::Relaxed),
+        events: outs.iter().map(|o| o.events).sum(),
+        mail_msgs: shared.mail_msgs.load(Ordering::Relaxed),
+        per_lane_events: outs.iter().map(|o| o.events).collect(),
+    };
     if std::env::var("HPCC_LANE_STATS").is_ok() {
-        let events: u64 = outs.iter().map(|o| o.events).sum();
-        let rounds = shared.rounds.load(Ordering::Relaxed);
         eprintln!(
-            "[lane-stats] lanes={lanes} rounds={rounds} events={events} ev/round={:.1}",
-            events as f64 / rounds.max(1) as f64
+            "[lane-stats] lanes={} rounds={} events={} mail={} ev/round={:.1}",
+            stats.lanes,
+            stats.rounds,
+            stats.events,
+            stats.mail_msgs,
+            stats.events_per_round()
         );
     }
-    assemble(cfg, outs)
+    let (results, report) = assemble(cfg, outs);
+    (results, report, stats)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -1369,10 +1369,38 @@ impl Machine {
         F: Fn(Node) -> Fut + Sync,
         Fut: Future<Output = T> + 'static,
     {
+        let (results, report, _stats) = self.run_sharded_stats(lanes, plan, program);
+        (results, report)
+    }
+
+    /// [`Machine::run_sharded_with_faults`] plus the lane-runtime
+    /// diagnostics ([`crate::shard::LaneStats`]): windows executed,
+    /// per-lane event throughput, cross-lane mailbox traffic. On the
+    /// single-lane (legacy-engine) path the stats degenerate to one lane
+    /// carrying every event with zero windows and zero mailbox traffic.
+    pub fn run_sharded_stats<T, F, Fut>(
+        &self,
+        lanes: usize,
+        plan: &FaultPlan,
+        program: F,
+    ) -> (Vec<Option<T>>, RunReport, crate::shard::LaneStats)
+    where
+        T: Send + 'static,
+        F: Fn(Node) -> Fut + Sync,
+        Fut: Future<Output = T> + 'static,
+    {
         let lanes = LaneMap::new(&self.cfg.topology, lanes).lanes();
         if lanes <= 1 {
             // One lane IS the legacy engine: same code, same bits.
-            return self.run_with_faults(plan, program);
+            let (results, report) = self.run_with_faults(plan, program);
+            let stats = crate::shard::LaneStats {
+                lanes: 1,
+                rounds: 0,
+                events: report.events,
+                mail_msgs: 0,
+                per_lane_events: vec![report.events],
+            };
+            return (results, report, stats);
         }
         crate::shard::run(&self.cfg, lanes, plan, &program)
     }
@@ -1393,7 +1421,8 @@ impl Machine {
         Fut: Future<Output = T> + 'static,
     {
         let lanes = LaneMap::new(&self.cfg.topology, lanes).lanes();
-        crate::shard::run(&self.cfg, lanes, plan, &program)
+        let (results, report, _stats) = crate::shard::run(&self.cfg, lanes, plan, &program);
+        (results, report)
     }
 }
 

@@ -511,6 +511,7 @@ impl<'a> FlowSim<'a> {
         } else {
             0
         };
+        let mut last_full_resolves = 0u64;
         let mut trans: Vec<Transition> = Vec::with_capacity(2 * faults.len());
         for f in faults {
             assert!(f.link < self.net.links().len(), "fault on link {}", f.link);
@@ -836,6 +837,18 @@ impl<'a> FlowSim<'a> {
                         "dirty",
                         now.nanos(),
                         engine.stats.last_dirty as f64,
+                    );
+                }
+                // Step the cumulative fallback counter only when a full
+                // resolve actually happened — a flat line would drown
+                // the interesting edges in Perfetto.
+                if engine.stats.full_resolves != last_full_resolves {
+                    last_full_resolves = engine.stats.full_resolves;
+                    rec.counter(
+                        solver_track,
+                        "full_resolves",
+                        now.nanos(),
+                        last_full_resolves as f64,
                     );
                 }
                 for &d in engine.touched_dirs() {

@@ -24,8 +24,10 @@ impl MemRecorder {
 }
 
 /// pid/tid assignment for one track: pids number distinct process names in
-/// first-appearance order, tids number tracks within their process.
-fn layout(tracks: &[Track]) -> Vec<(u32, u32)> {
+/// first-appearance order, tids number tracks within their process. Shared
+/// with the streaming chunk exporter so live chunks and post-hoc exports
+/// agree on row identity.
+pub(crate) fn layout(tracks: &[Track]) -> Vec<(u32, u32)> {
     let mut processes: Vec<&str> = Vec::new();
     let mut per_process_tids: Vec<u32> = Vec::new();
     let mut out = Vec::with_capacity(tracks.len());
@@ -142,7 +144,7 @@ fn id_of(track: TrackId, ids: &[(u32, u32)]) -> (u32, u32) {
 }
 
 /// Exact microsecond rendering of an integer nanosecond count.
-fn us(ns: u64) -> String {
+pub(crate) fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
@@ -156,7 +158,7 @@ fn num(v: f64) -> String {
 }
 
 /// JSON string literal with escaping.
-fn quote(s: &str) -> String {
+pub(crate) fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,323 @@
+//! `TelemetryServer` — the HTTP front door for a live [`StreamRecorder`].
+//!
+//! A tiny, dependency-free HTTP/1.1 server on `std::net::TcpListener`
+//! serving three read-only endpoints against a running simulation:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4):
+//!   p50/p90/p99 span summaries per (process, category), counter gauges,
+//!   instant counts, and the recorder's own accounting (events seen,
+//!   ring eviction drops, sequence window).
+//! * `GET /trace?since=<seq>[&max=<n>]` — incremental Chrome
+//!   `trace_event` JSON chunks from the recorder's event ring. Each
+//!   response is independently Perfetto-loadable and carries a `next`
+//!   cursor; poll with `since=next` to tail the trace live. Readers that
+//!   fall behind the ring window get a `lagged` count, never silent gaps.
+//! * `GET /healthz` — liveness probe (`200 ok`).
+//!
+//! One thread per connection (scrapers are few and connections are
+//! `Connection: close`), all of them strictly readers: a scrape loads
+//! atomic cells and clones `Arc`s of frozen ring chunks, so any number of
+//! concurrent dashboard readers leave the simulation thread's fast path
+//! untouched.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::stream::StreamRecorder;
+
+/// Handle for a running telemetry endpoint. Dropping the handle without
+/// calling [`TelemetryServer::stop`] leaves the accept thread running
+/// until process exit (harmless for exhibits; tests should `stop()`).
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (use `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `rec`. Returns once the listener is live, so a scrape
+    /// issued right after `start` cannot race the bind.
+    pub fn start(rec: Arc<StreamRecorder>, addr: &str) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let requests2 = Arc::clone(&requests);
+        let accept = std::thread::Builder::new()
+            .name("hpcc-telemetry".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(sock) = conn else { continue };
+                    let rec = Arc::clone(&rec);
+                    let requests = Arc::clone(&requests2);
+                    // One short-lived thread per connection; handlers
+                    // only read atomics and Arc-cloned chunks.
+                    let _ = std::thread::Builder::new()
+                        .name("hpcc-telemetry-conn".into())
+                        .spawn(move || {
+                            requests.fetch_add(1, Ordering::Relaxed);
+                            let _ = handle(sock, &rec);
+                        });
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr: local,
+            stop,
+            requests,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests accepted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the accept thread. In-flight connection
+    /// threads finish their (short) responses on their own.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn handle(mut sock: TcpStream, rec: &StreamRecorder) -> std::io::Result<()> {
+    sock.set_read_timeout(Some(Duration::from_secs(5)))?;
+    sock.set_write_timeout(Some(Duration::from_secs(5)))?;
+    // Read until the end of the request head. Bodies are ignored: every
+    // endpoint is a GET.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = sock.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let Some(request_line) = head.lines().next() else {
+        return respond(&mut sock, 400, "text/plain", "bad request\n");
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return respond(&mut sock, 400, "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(&mut sock, 405, "text/plain", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => respond(&mut sock, 200, "text/plain", "ok\n"),
+        "/metrics" => {
+            let body = rec.prometheus_text();
+            respond(
+                &mut sock,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/trace" => {
+            let mut since = 0u64;
+            let mut max = 100_000usize;
+            for kv in query.split('&').filter(|s| !s.is_empty()) {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                match k {
+                    "since" => match v.parse() {
+                        Ok(s) => since = s,
+                        Err(_) => {
+                            return respond(&mut sock, 400, "text/plain", "bad since\n");
+                        }
+                    },
+                    "max" => match v.parse() {
+                        Ok(m) => max = m,
+                        Err(_) => {
+                            return respond(&mut sock, 400, "text/plain", "bad max\n");
+                        }
+                    },
+                    _ => {}
+                }
+            }
+            let (body, _next) = rec.trace_chunk(since, max);
+            respond(&mut sock, 200, "application/json", &body)
+        }
+        _ => respond(&mut sock, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(sock: &mut TcpStream, status: u16, ctype: &str, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    sock.write_all(head.as_bytes())?;
+    sock.write_all(body.as_bytes())?;
+    sock.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    /// Minimal HTTP client for tests and the bench harness.
+    pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+        let mut sock = TcpStream::connect(addr)?;
+        sock.set_read_timeout(Some(Duration::from_secs(5)))?;
+        write!(
+            sock,
+            "GET {path} HTTP/1.1\r\nHost: hpcc\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut raw = String::new();
+        sock.read_to_string(&mut raw)?;
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, body))
+    }
+
+    fn server_with_data() -> (TelemetryServer, Arc<StreamRecorder>) {
+        let rec = Arc::new(StreamRecorder::new());
+        let t = rec.track("mesh nodes", "node 0");
+        rec.span(t, "compute", "dgemm", 0, 1500);
+        rec.counter(t, "queue_depth", 10, 3.0);
+        rec.instant(t, "fault", "crash", 20);
+        rec.flush_ring();
+        let srv = TelemetryServer::start(Arc::clone(&rec), "127.0.0.1:0").expect("bind");
+        (srv, rec)
+    }
+
+    #[test]
+    fn healthz_metrics_and_trace_round_trip() {
+        let (srv, _rec) = server_with_data();
+        let addr = srv.addr();
+
+        let (code, body) = get(addr, "/healthz").unwrap();
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        let (code, body) = get(addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("hpcc_span_latency_seconds_count"));
+        assert!(body.contains("hpcc_recorder_events_total 3"));
+
+        let (code, body) = get(addr, "/trace?since=0").unwrap();
+        assert_eq!(code, 200);
+        let doc = crate::json::parse(&body).expect("trace chunk is valid JSON");
+        let next = doc.get("next").and_then(crate::json::Json::as_f64).unwrap() as u64;
+        assert_eq!(next, 3);
+
+        // Tail from the cursor: empty chunk, same cursor.
+        let (code, body) = get(addr, &format!("/trace?since={next}")).unwrap();
+        assert_eq!(code, 200);
+        let doc = crate::json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("next").and_then(crate::json::Json::as_f64).unwrap() as u64,
+            next
+        );
+
+        let (code, _) = get(addr, "/nope").unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = get(addr, "/trace?since=xyz").unwrap();
+        assert_eq!(code, 400);
+
+        assert!(srv.requests() >= 5);
+        srv.stop();
+    }
+
+    #[test]
+    fn many_concurrent_readers_against_live_writes() {
+        let (srv, rec) = server_with_data();
+        let addr = srv.addr();
+        let writer_done = Arc::new(AtomicBool::new(false));
+        let t = rec.track("mesh nodes", "node 1");
+
+        std::thread::scope(|scope| {
+            let done = Arc::clone(&writer_done);
+            let rec2 = Arc::clone(&rec);
+            scope.spawn(move || {
+                for i in 0u64..20_000 {
+                    rec2.span(t, "compute", "k", i, i + 3);
+                }
+                rec2.flush_ring();
+                done.store(true, Ordering::SeqCst);
+            });
+            for _ in 0..4 {
+                let done = Arc::clone(&writer_done);
+                scope.spawn(move || {
+                    let mut cursor = 0u64;
+                    while !done.load(Ordering::SeqCst) {
+                        let (code, body) = get(addr, "/metrics").expect("scrape");
+                        assert_eq!(code, 200);
+                        assert!(body.contains("hpcc_recorder_events_total"));
+                        let (code, body) =
+                            get(addr, &format!("/trace?since={cursor}&max=4096")).expect("tail");
+                        assert_eq!(code, 200);
+                        let doc = crate::json::parse(&body).expect("valid chunk");
+                        cursor =
+                            doc.get("next").and_then(crate::json::Json::as_f64).unwrap() as u64;
+                    }
+                });
+            }
+        });
+        // After the dust settles the ledger must balance exactly.
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.events_total, 3 + 20_000);
+        assert_eq!(
+            snap.events_total,
+            snap.ring.retained_events + snap.ring.active_events + snap.ring.evicted_events
+        );
+        srv.stop();
+    }
+}

@@ -31,9 +31,13 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 pub mod chrome;
+pub mod http;
 pub mod json;
+pub mod stream;
 pub mod summary;
 
+pub use http::TelemetryServer;
+pub use stream::{MetricsSnapshot, RingLedger, StreamRecorder};
 pub use summary::NodeBreakdown;
 
 /// Handle for one (process, thread) row. Dense, allocated by the recorder.
@@ -98,8 +102,12 @@ pub mod names {
     /// One track per directed WAN link; counters are allocated rate.
     pub const WAN_LINKS: &str = "wan links";
     /// The WAN flow solver; counters are affected-set (dirty) sizes
-    /// per incremental resolve.
+    /// per incremental resolve plus cumulative full-resolve fallbacks.
     pub const WAN_SOLVER: &str = "wan solver";
+    /// Sharded-DES lane runtime: one track per event lane plus an
+    /// aggregate track; counters are events, windows, and cross-lane
+    /// mailbox traffic (the `HPCC_LANE_STATS` diagnostics, first-class).
+    pub const DES_LANES: &str = "des lanes";
     /// Host-side kernel tracks (wall-clock time base).
     pub const HOST: &str = "host";
 }

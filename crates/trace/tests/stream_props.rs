@@ -1,0 +1,232 @@
+//! Property and concurrency tests for the streaming recorder.
+//!
+//! * Quantile fidelity: `StreamRecorder`'s online p50/p90/p99 against the
+//!   exact quantile computed from a `MemRecorder` fed the same events —
+//!   equal to the enclosing bucket's upper edge and within the 12.5%
+//!   log-linear bucket resolution.
+//! * Accounting: every emitted event is aggregated exactly once and is in
+//!   the ring exactly once (retained, active, or counted as evicted).
+//! * Scrape-while-write: concurrent readers see monotone totals and
+//!   internally consistent snapshots while the writer is hot.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hpcc_trace::stream::{bucket_hi, bucket_of};
+use hpcc_trace::{Event, MemRecorder, Recorder, StreamRecorder};
+
+/// Exact quantile with `des::stats::Histogram`'s rank rule: the
+/// `ceil(q*n)`-th smallest value (1-indexed).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = (q * sorted.len() as f64).ceil() as usize;
+    sorted[target.max(1) - 1]
+}
+
+/// Durations spanning the full dynamic range: mantissa scaled into an
+/// exponent sampled from `0..=max_exp`.
+fn durations(seed: &mut impl FnMut() -> u64, n: usize, max_exp: u32) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let exp = seed() % (max_exp as u64 + 1);
+            let mantissa = seed() % 1000;
+            (1u64 << exp).saturating_add(mantissa * (1u64 << exp) / 1000)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The streamed quantile is the upper edge of the bucket holding the
+    /// exact quantile (MemRecorder ground truth), hence within one
+    /// log-linear bucket — ≤12.5% relative error.
+    #[test]
+    fn stream_quantiles_match_mem_recorder_within_bucket_resolution(
+        n in 1usize..400,
+        max_exp in 0u32..50,
+        salt in 0u64..u64::MAX - 1,
+    ) {
+        let mut state = salt | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let durs = durations(&mut next, n, max_exp);
+
+        let stream = StreamRecorder::new();
+        let mem = MemRecorder::new();
+        let ts = stream.track("mesh nodes", "node 0");
+        let tm = mem.track("mesh nodes", "node 0");
+        for &d in &durs {
+            stream.span(ts, "compute", "k", 0, d);
+            mem.span(tm, "compute", "k", 0, d);
+        }
+
+        // Ground truth from the buffered recorder's own event log.
+        let mut sorted: Vec<u64> = mem.with(|_, events| {
+            events
+                .iter()
+                .map(|e| match e {
+                    Event::Span { start_ns, end_ns, .. } => end_ns - start_ns,
+                    _ => unreachable!("only spans were emitted"),
+                })
+                .collect()
+        });
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted.len(), durs.len());
+
+        let snap = stream.metrics_snapshot();
+        prop_assert_eq!(snap.spans.len(), 1);
+        let g = &snap.spans[0];
+        prop_assert_eq!(g.count, n as u64);
+        prop_assert_eq!(g.min_ns, *sorted.first().unwrap());
+        prop_assert_eq!(g.max_ns, *sorted.last().unwrap());
+
+        for (q, got) in [(0.5, g.p50_ns), (0.9, g.p90_ns), (0.99, g.p99_ns)] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert_eq!(
+                got,
+                bucket_hi(bucket_of(exact)),
+                "q={} exact={} got={}", q, exact, got
+            );
+            // Bucket resolution: upper edge overshoots by <= 12.5% + 1.
+            prop_assert!(got >= exact);
+            prop_assert!(
+                (got - exact) as f64 <= 0.125 * exact as f64 + 1.0,
+                "q={} exact={} got={} overshoots a bucket", q, exact, got
+            );
+        }
+    }
+
+    /// Ledger identities hold for any mix of event kinds and any ring
+    /// geometry, with eviction forced by tiny rings.
+    #[test]
+    fn ledger_balances_for_any_mix_and_ring_geometry(
+        spans in 0u64..300,
+        counters in 0u64..300,
+        instants in 0u64..300,
+        chunk_cap in 1usize..33,
+        max_chunks in 1usize..5,
+    ) {
+        let rec = StreamRecorder::with_ring(chunk_cap, max_chunks);
+        let t = rec.track("p", "t");
+        for i in 0..spans {
+            rec.span(t, "c", "s", i, i + 1);
+        }
+        for i in 0..counters {
+            rec.counter(t, "q", i, i as f64);
+        }
+        for i in 0..instants {
+            rec.instant(t, "f", "x", i);
+        }
+        let snap = rec.metrics_snapshot();
+        let total = spans + counters + instants;
+        prop_assert_eq!(snap.events_total, total);
+        // Aggregation ledger: every event aggregated exactly once.
+        prop_assert_eq!(
+            snap.spans_total + snap.counters_total + snap.instants_total,
+            total
+        );
+        // Ring ledger: emitted == retained + active + evicted (dropped).
+        prop_assert_eq!(
+            snap.ring.retained_events + snap.ring.active_events + snap.ring.evicted_events,
+            total
+        );
+        // Sequence window is consistent with the ledger.
+        prop_assert_eq!(snap.ring.next_seq, total);
+        prop_assert_eq!(snap.ring.oldest_seq, snap.ring.evicted_events);
+        // A ring this small under this load must have dropped something.
+        if total > (chunk_cap * (max_chunks + 1)) as u64 {
+            prop_assert!(snap.ring.evicted_events > 0);
+        }
+    }
+}
+
+/// Concurrent scrape-while-write: readers hammer every read surface while
+/// a writer streams events. Totals must be monotone across scrapes and
+/// the final ledger exact.
+#[test]
+fn concurrent_scrapes_see_monotone_consistent_state() {
+    const N: u64 = 30_000;
+    let rec = Arc::new(StreamRecorder::with_ring(256, 8));
+    let t = rec.track("mesh nodes", "node 0");
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        {
+            let rec = Arc::clone(&rec);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                for i in 0..N {
+                    match i % 3 {
+                        0 => rec.span(t, "compute", "k", i, i + 10),
+                        1 => rec.counter(t, "q", i, i as f64),
+                        _ => rec.instant(t, "f", "x", i),
+                    }
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..3 {
+            let rec = Arc::clone(&rec);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut last_total = 0u64;
+                let mut cursor = 0u64;
+                while !done.load(Ordering::SeqCst) {
+                    let snap = rec.metrics_snapshot();
+                    assert!(
+                        snap.events_total >= last_total,
+                        "events_total regressed: {} -> {}",
+                        last_total,
+                        snap.events_total
+                    );
+                    last_total = snap.events_total;
+                    // Prometheus text renders without panicking mid-write.
+                    let text = rec.prometheus_text();
+                    assert!(text.contains("hpcc_recorder_events_total"));
+                    // Trace cursor only moves forward.
+                    let (_, next) = rec.trace_chunk(cursor, 1024);
+                    assert!(next >= cursor);
+                    cursor = next;
+                }
+            });
+        }
+    });
+
+    let snap = rec.metrics_snapshot();
+    assert_eq!(snap.events_total, N);
+    assert_eq!(
+        snap.spans_total + snap.counters_total + snap.instants_total,
+        N
+    );
+    assert_eq!(
+        snap.ring.retained_events + snap.ring.active_events + snap.ring.evicted_events,
+        N
+    );
+}
+
+/// The pure-observer contract at the API level: a recorded lu2d-style
+/// span stream leaves the recorder with exactly the aggregates the inputs
+/// dictate, independent of scrape interleavings (scrapes are read-only).
+#[test]
+fn scrapes_do_not_perturb_aggregates() {
+    let rec = StreamRecorder::new();
+    let t = rec.track("p", "t");
+    rec.span(t, "c", "a", 0, 100);
+    let before = rec.metrics_snapshot();
+    for _ in 0..50 {
+        let _ = rec.prometheus_text();
+        let _ = rec.trace_chunk(0, 10_000);
+        let _ = rec.metrics_snapshot();
+    }
+    rec.span(t, "c", "a", 0, 100);
+    let after = rec.metrics_snapshot();
+    assert_eq!(after.spans[0].count, before.spans[0].count + 1);
+    assert_eq!(after.spans[0].sum_ns, before.spans[0].sum_ns + 100);
+    assert_eq!(after.events_total, before.events_total + 1);
+}
